@@ -1,0 +1,181 @@
+(* flopt: command-line driver for the file-layout optimization framework.
+
+   Subcommands:
+     apps                      list the 16-application suite
+     plan APP                  show the compiler pass's per-array decisions
+     run APP [options]         simulate one execution and print metrics
+     layout APP ARRAY_ID       dump a sample of the element->offset mapping
+     topology                  print the default scaled Table 1 system *)
+
+open Cmdliner
+open Flo_engine
+open Flo_workloads
+open Flo_core
+
+let find_app name =
+  match Suite.find name with
+  | app -> Ok app
+  | exception Not_found ->
+    Error (`Msg (Printf.sprintf "unknown application %S (try `flopt apps')" name))
+
+let app_conv =
+  Arg.conv ((fun s -> find_app s), fun ppf a -> Format.fprintf ppf "%s" a.App.name)
+
+let app_arg =
+  Arg.(required & pos 0 (some app_conv) None & info [] ~docv:"APP" ~doc:"Application name.")
+
+let scope_arg =
+  let values =
+    [ ("both", Internode.Both); ("io-only", Internode.Io_only);
+      ("storage-only", Internode.Storage_only) ]
+  in
+  Arg.(value & opt (enum values) Internode.Both
+       & info [ "scope" ] ~docv:"SCOPE" ~doc:"Cache layers targeted: both, io-only, storage-only.")
+
+type layout_mode = Default | Inter | Reindexed | Compmapped
+
+let layout_arg =
+  let values =
+    [ ("default", Default); ("inter", Inter); ("reindex", Reindexed); ("compmap", Compmapped) ]
+  in
+  Arg.(value & opt (enum values) Inter
+       & info [ "layout" ] ~docv:"MODE"
+           ~doc:"File layouts: default (row-major), inter (the paper's pass), reindex [27], compmap [26].")
+
+let caching_arg =
+  let values =
+    [ ("lru", Run.Lru); ("karma", Run.Karma); ("demote", Run.Demote);
+      ("mq", Run.Custom (Flo_storage.Lru.create, Flo_storage.Mq.create));
+      ("clock", Run.Custom (Flo_storage.Clock.create, Flo_storage.Clock.create)) ]
+  in
+  Arg.(value & opt (enum values) Run.Lru
+       & info [ "caching" ] ~docv:"POLICY" ~doc:"Cache management: lru, karma, demote, mq, clock.")
+
+let mapping_arg =
+  Arg.(value & opt int 0
+       & info [ "mapping" ] ~docv:"SEED"
+           ~doc:"Thread-to-node mapping: 0 = identity (Mapping I), 1-3 = Mappings II-IV.")
+
+let config = Config.default
+
+let apps_cmd =
+  let doc = "List the 16-application evaluation suite." in
+  let run () =
+    List.iter
+      (fun app ->
+        Printf.printf "%-10s [%-8s]%s %s\n" app.App.name
+          (App.group_to_string app.App.group)
+          (if app.App.master_slave then " master-slave" else "")
+          app.App.description)
+      Suite.all
+  in
+  Cmd.v (Cmd.info "apps" ~doc) Term.(const run $ const ())
+
+let plan_cmd =
+  let doc = "Show the layout pass's decisions for an application." in
+  let run app scope =
+    let plan = Experiment.inter_plan ~scope config app in
+    Format.printf "%a@." Optimizer.pp plan
+  in
+  Cmd.v (Cmd.info "plan" ~doc) Term.(const run $ app_arg $ scope_arg)
+
+let run_cmd =
+  let doc = "Simulate one execution of an application." in
+  let run app layout_mode caching scope seed =
+    let mapping = if seed = 0 then None else Some (Experiment.random_mapping ~seed config) in
+    let result =
+      match layout_mode with
+      | Default -> Run.run ?mapping ~caching ~config ~layouts:(Experiment.default_layouts app) app
+      | Inter ->
+        Run.run ?mapping ~caching ~config ~layouts:(Experiment.inter_layouts ~scope config app) app
+      | Reindexed ->
+        let outcome = Experiment.reindex_best config app in
+        Run.run ?mapping ~caching ~config
+          ~layouts:(fun id -> List.assoc id outcome.Reindex.layouts)
+          app
+      | Compmapped ->
+        let outcome = Experiment.compmap_best config app in
+        Run.run ?mapping ~caching
+          ~assigns:(fun i -> List.assoc i outcome.Compmap.choices)
+          ~config ~layouts:(Experiment.default_layouts app) app
+    in
+    Format.printf "%a@." Run.pp_result result;
+    Printf.printf "miss/element: L1 %.2f%%  L2 %.2f%%\n"
+      (100. *. Run.l1_miss_per_element result)
+      (100. *. Run.l2_miss_per_element result)
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ app_arg $ layout_arg $ caching_arg $ scope_arg $ mapping_arg)
+
+let layout_cmd =
+  let doc = "Dump a sample of the element-to-offset mapping of one array." in
+  let array_arg =
+    Arg.(required & pos 1 (some int) None & info [] ~docv:"ARRAY_ID" ~doc:"Array id.")
+  in
+  let run app id =
+    let plan = Experiment.inter_plan config app in
+    match Optimizer.layout_of plan id with
+    | exception Not_found -> prerr_endline "no such array id"
+    | layout ->
+      let space = File_layout.space layout in
+      Printf.printf "layout: %s  file size: %d elements (space %d)\n"
+        (File_layout.describe layout) (File_layout.size layout)
+        (Flo_poly.Data_space.cardinal space);
+      let step = max 1 (Flo_poly.Data_space.cardinal space / 16) in
+      let i = ref 0 in
+      Flo_poly.Data_space.iter space (fun a ->
+          if !i mod step = 0 then
+            Format.printf "  %a -> %d%s@." Flo_linalg.Ivec.pp a (File_layout.offset_of layout a)
+              (match File_layout.owner_of layout a with
+              | Some t -> Printf.sprintf " (thread %d)" t
+              | None -> "");
+          incr i)
+  in
+  Cmd.v (Cmd.info "layout" ~doc) Term.(const run $ app_arg $ array_arg)
+
+let trace_cmd =
+  let doc = "Export per-thread block-request traces as CSV (thread, seq, file, block)." in
+  let out_arg =
+    Arg.(value & opt string "-" & info [ "out" ] ~docv:"FILE" ~doc:"Output file ('-' = stdout).")
+  in
+  let run app layout_mode out =
+    let layouts =
+      match layout_mode with
+      | Default | Reindexed | Compmapped -> Experiment.default_layouts app
+      | Inter -> Experiment.inter_layouts config app
+    in
+    let topo = config.Config.topology in
+    let oc = if out = "-" then stdout else open_out out in
+    Printf.fprintf oc "nest,thread,seq,file,block\n";
+    List.iteri
+      (fun i nest ->
+        let streams =
+          Tracegen.nest_streams ~layouts ~block_elems:topo.Flo_storage.Topology.block_elems
+            ~threads:(Flo_storage.Topology.threads topo) ~blocks_per_thread:1 nest
+        in
+        Array.iteri
+          (fun t stream ->
+            Array.iteri
+              (fun seq b ->
+                Printf.fprintf oc "%d,%d,%d,%d,%d\n" i t seq (Flo_storage.Block.file b)
+                  (Flo_storage.Block.index b))
+              stream)
+          streams)
+      app.App.program.Flo_poly.Program.nests;
+    if out <> "-" then close_out oc
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ app_arg $ layout_arg $ out_arg)
+
+let topology_cmd =
+  let doc = "Print the default (scaled Table 1) system configuration." in
+  let run () =
+    Format.printf "%a@." Flo_storage.Topology.pp config.Config.topology;
+    Printf.printf "block = %d elements; client buffer = %d blocks/thread\n"
+      config.Config.topology.Flo_storage.Topology.block_elems config.Config.client_buffer_blocks
+  in
+  Cmd.v (Cmd.info "topology" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "compiler-directed file layout optimization for hierarchical storage (SC'12 reproduction)" in
+  let info = Cmd.info "flopt" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ apps_cmd; plan_cmd; run_cmd; layout_cmd; trace_cmd; topology_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_hierarchy.ml: Access App Chunk_pattern Config Data_space Experiment Flo_core Flo_engine Flo_poly Flo_storage Flo_workloads Format Iter_space Loop_nest Program Run Topology

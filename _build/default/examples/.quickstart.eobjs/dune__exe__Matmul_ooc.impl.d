@@ -1,0 +1,1 @@
+examples/matmul_ooc.ml: Access App Config Data_space Experiment Flo_engine Flo_poly Flo_storage Flo_workloads Format Iter_space Loop_nest Program Run Topology

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Access Chunk_pattern Data_space File_layout Flo_core Flo_poly Format Internode Iter_space List Loop_nest Optimizer Program

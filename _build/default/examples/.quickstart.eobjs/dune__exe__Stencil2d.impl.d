@@ -1,0 +1,1 @@
+examples/stencil2d.ml: Access App Config Data_space Experiment Flo_core Flo_engine Flo_poly Flo_storage Flo_workloads Format Iter_space List Loop_nest Program Run Topology

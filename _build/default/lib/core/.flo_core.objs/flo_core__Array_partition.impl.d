@@ -1,0 +1,1 @@
+lib/core/array_partition.ml: Flo_linalg Flo_poly Gauss Hermite Imat Ivec List Weights

@@ -1,0 +1,1 @@
+lib/core/array_partition.mli: Access Flo_linalg Flo_poly Imat Ivec Loop_nest Weights

@@ -1,0 +1,1 @@
+lib/core/chunk_pattern.mli: Format

@@ -1,0 +1,1 @@
+lib/core/compmap.ml: Array List Printf

@@ -1,0 +1,1 @@
+lib/core/file_layout.ml: Array Chunk_pattern Data_space Flo_linalg Flo_poly Format Imat Ivec

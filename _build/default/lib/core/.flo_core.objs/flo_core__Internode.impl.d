@@ -1,0 +1,1 @@
+lib/core/internode.ml: Array Array_partition Chunk_pattern File_layout

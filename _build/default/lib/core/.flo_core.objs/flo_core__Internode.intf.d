@@ -1,0 +1,1 @@
+lib/core/internode.mli: Array_partition Chunk_pattern Data_space File_layout Flo_poly

@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Array_partition File_layout Flo_poly Format Internode List Option Program Weights

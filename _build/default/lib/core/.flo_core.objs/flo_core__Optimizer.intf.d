@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Array_partition File_layout Flo_poly Format Internode Program

@@ -1,0 +1,1 @@
+lib/core/reindex.ml: Array Data_space File_layout Flo_linalg Flo_poly Fun Hashtbl List Program Weights

@@ -1,0 +1,1 @@
+lib/core/reindex.mli: Data_space File_layout Flo_poly Program

@@ -1,0 +1,1 @@
+lib/core/relayout.ml: Array Data_space File_layout Flo_linalg Flo_poly Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/relayout.mli: File_layout Flo_linalg

@@ -1,0 +1,1 @@
+lib/core/weights.ml: Access Flo_linalg Flo_poly Hashtbl Imat List Loop_nest

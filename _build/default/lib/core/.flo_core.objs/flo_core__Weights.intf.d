@@ -1,0 +1,1 @@
+lib/core/weights.mli: Access Flo_linalg Flo_poly Imat Loop_nest

@@ -1,0 +1,94 @@
+open Flo_linalg
+
+type result = {
+  d_row : Ivec.t;
+  d : Imat.t;
+  v : int;
+  satisfied : Weights.group list;
+  unsatisfied : Weights.group list;
+  coverage : float;
+  stride : int;
+  origin : int;
+  u_extent : int;
+}
+
+let constraint_columns (g : Weights.group) = Imat.delete_col g.matrix g.parallel_dim
+
+let annihilates d g =
+  let m = constraint_columns g in
+  Ivec.is_zero (Imat.vec_mul d m)
+
+let solve ?(weighted = true) groups =
+  let groups =
+    if weighted then List.sort (fun (a : Weights.group) b -> compare b.weight a.weight) groups
+    else groups
+  in
+  match groups with
+  | [] -> None
+  | dominant :: rest ->
+    let first = constraint_columns dominant in
+    if Gauss.left_nullspace first = [] then None
+    else begin
+      (* greedily grow the constraint system while it stays solvable *)
+      let m =
+        List.fold_left
+          (fun m g ->
+            let candidate = Imat.append_cols m (constraint_columns g) in
+            if Gauss.left_nullspace candidate <> [] then candidate else m)
+          first rest
+      in
+      let basis = Gauss.left_nullspace m in
+      let u_col = Imat.col dominant.matrix dominant.parallel_dim in
+      let stride_of d = Ivec.dot d u_col in
+      (* prefer a solution that actually advances along v with the parallel
+         loop (nonzero stride), and among those the smallest stride to keep
+         the transformed bounding box tight *)
+      let d_row =
+        let scored =
+          List.map (fun d -> (abs (stride_of d), d)) basis
+          |> List.sort (fun (a, da) (b, db) ->
+                 match (a, b) with
+                 | 0, 0 -> Ivec.lex_compare da db
+                 | 0, _ -> 1
+                 | _, 0 -> -1
+                 | _ -> if a <> b then compare a b else Ivec.lex_compare da db)
+        in
+        match scored with
+        | (_, d) :: _ -> d
+        | [] -> assert false (* basis nonempty by construction *)
+      in
+      (* nullspace vectors are already primitive; only the sign may need
+         fixing so the image advances forward with the parallel loop *)
+      let d_row = if stride_of d_row < 0 then Ivec.neg d_row else d_row in
+      let d = Hermite.complete_to_unimodular ~row:0 d_row in
+      (* a group rejected by the greedy pass may still be annihilated *)
+      let satisfied, unsatisfied = List.partition (annihilates d_row) groups in
+      let coverage = Weights.coverage groups ~satisfied:(annihilates d_row) in
+      (* anchor of the partition-dimension image: Step I guarantees
+         a'_v = stride * i_u + d.q over satisfied references, so the data
+         slabs must be aligned to the dominant nest's parallel loop *)
+      let origin, u_extent =
+        match dominant.Weights.refs with
+        | (nest, access) :: _ ->
+          let space = nest.Flo_poly.Loop_nest.space in
+          let u = dominant.Weights.parallel_dim in
+          let lo = Flo_poly.Iter_space.lo space u in
+          ( (stride_of d_row * lo) + Ivec.dot d_row (Flo_poly.Access.offset access),
+            Flo_poly.Iter_space.extent space u )
+        | [] -> (0, 1)
+      in
+      Some
+        {
+          d_row;
+          d;
+          v = 0;
+          satisfied;
+          unsatisfied;
+          coverage;
+          stride = stride_of d_row;
+          origin;
+          u_extent;
+        }
+    end
+
+let solve_refs refs = solve (Weights.group_refs refs)

@@ -1,0 +1,48 @@
+(** Step I: array partitioning by unimodular data transformation
+    (paper Section 4.1).
+
+    For each array we seek a primitive row vector [d] (the [v]-th row of the
+    transformation [D]) such that for the weighted-majority constraint
+    groups [h_A . D . Q . E_u = 0] (Eq. 3/4) — equivalently
+    [d . Q . E_u = 0]: every column of [Q] except the parallel loop's is
+    annihilated by [d].  [d] is found with integer Gaussian elimination and
+    completed to a unimodular [D] by extended-gcd column operations.
+
+    The partition dimension is fixed at [v = 0]: the transformed array is
+    cut along its first dimension, so thread slabs are outermost and
+    contiguous under row-major linearization. *)
+
+open Flo_linalg
+open Flo_poly
+
+type result = {
+  d_row : Ivec.t;  (** the solved primitive row vector *)
+  d : Imat.t;  (** unimodular completion, [d_row] at row 0 *)
+  v : int;  (** always 0 *)
+  satisfied : Weights.group list;  (** constraint groups [d] annihilates *)
+  unsatisfied : Weights.group list;
+  coverage : float;  (** weight fraction satisfied, in [0, 1] *)
+  stride : int;  (** [|d . Q_dom . e_u|]: distance along [v] between images
+                     of consecutive parallel iterations (0 = degenerate) *)
+  origin : int;
+      (** [stride * lo_u + d . q] for the dominant reference: the
+          (untransformed-coordinate) anchor of the image along [v] *)
+  u_extent : int;  (** trip count of the dominant nest's parallel loop *)
+}
+
+val constraint_columns : Weights.group -> Imat.t
+(** [Q . E_u]: the columns of the group's access matrix excluding the
+    parallel dimension's. *)
+
+val solve : ?weighted:bool -> Weights.group list -> result option
+(** Greedy weighted solve: accept constraint groups in descending weight
+    order while the accumulated homogeneous system still has a nonzero
+    solution.  Returns [None] when even the heaviest group alone is
+    unsolvable (its [Q . E_u] has full row rank), i.e. the array cannot be
+    partitioned — the pass leaves its layout canonical.
+
+    [weighted:false] (ablation A1) processes groups in arbitrary-but-fixed
+    declaration order instead of by weight. *)
+
+val solve_refs : (Loop_nest.t * Access.t) list -> result option
+(** Convenience: group with {!Weights.group_refs}, then {!solve}. *)

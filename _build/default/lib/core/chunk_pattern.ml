@@ -1,0 +1,118 @@
+type layer = { capacity : int; fanout : int }
+
+type t = { threads : int; layers : layer array; chunk : int; reps : int array }
+
+let validate layers =
+  if Array.length layers = 0 then invalid_arg "Chunk_pattern: no layers";
+  Array.iter
+    (fun { capacity; fanout } ->
+      if capacity < 1 || fanout < 1 then invalid_arg "Chunk_pattern: nonpositive layer")
+    layers
+
+let make ~layers =
+  validate layers;
+  let n = Array.length layers in
+  let l = layers.(0).fanout in
+  if layers.(0).capacity mod l <> 0 then
+    invalid_arg "Chunk_pattern.make: S_1 not a multiple of threads-per-cache";
+  let chunk = layers.(0).capacity / l in
+  let reps =
+    Array.init (n - 1) (fun i ->
+        let want = layers.(i + 1).fanout * layers.(i).capacity in
+        if layers.(i + 1).capacity mod want <> 0 then
+          invalid_arg "Chunk_pattern.make: t_i not integral";
+        layers.(i + 1).capacity / want)
+  in
+  Array.iter (fun t -> if t < 1 then invalid_arg "Chunk_pattern.make: t_i < 1") reps;
+  let threads = Array.fold_left (fun acc ly -> acc * ly.fanout) 1 layers in
+  { threads; layers = Array.copy layers; chunk; reps }
+
+let fit ?(align = 1) ~layers () =
+  validate layers;
+  if align < 1 then invalid_arg "Chunk_pattern.fit: align < 1";
+  let n = Array.length layers in
+  let l = layers.(0).fanout in
+  let chunk = max align (layers.(0).capacity / l / align * align) in
+  let fitted = Array.make n { capacity = chunk * l; fanout = l } in
+  for i = 1 to n - 1 do
+    let unit = layers.(i).fanout * fitted.(i - 1).capacity in
+    let t = max 1 (layers.(i).capacity / unit) in
+    fitted.(i) <- { capacity = t * unit; fanout = layers.(i).fanout }
+  done;
+  make ~layers:fitted
+
+let threads t = t.threads
+let chunk_elems t = t.chunk
+
+let period t = t.layers.(Array.length t.layers - 1).capacity
+
+let thread_base t = period t / t.threads
+
+let base t ~thread =
+  if thread < 0 || thread >= t.threads then invalid_arg "Chunk_pattern.base: bad thread";
+  let n = Array.length t.layers in
+  let l = t.layers.(0).fanout in
+  let acc = ref ((thread mod l) * t.chunk) in
+  let div = ref l in
+  for li = 1 to n - 1 do
+    let { capacity; fanout } = t.layers.(li) in
+    acc := !acc + (thread / !div mod fanout * (capacity / fanout));
+    div := !div * fanout
+  done;
+  !acc
+
+let offset t ~thread ~rank =
+  if rank < 0 then invalid_arg "Chunk_pattern.offset: negative rank";
+  let b0 = base t ~thread in
+  let x = rank / t.chunk in
+  let within = rank mod t.chunk in
+  let n = Array.length t.layers in
+  let b = ref 0 in
+  let div = ref 1 in
+  for i = 0 to n - 2 do
+    b := !b + (x / !div mod t.reps.(i) * t.layers.(i).capacity);
+    div := !div * t.reps.(i)
+  done;
+  b := !b + (x / !div * t.layers.(n - 1).capacity);
+  b0 + !b + within
+
+let locate t off =
+  if off < 0 then invalid_arg "Chunk_pattern.locate: negative offset";
+  let n = Array.length t.layers in
+  let p = period t in
+  let r = off / p in
+  let o = ref (off mod p) in
+  let child = Array.make n 0 in
+  let rho = Array.make (max 0 (n - 1)) 0 in
+  for li = n - 1 downto 1 do
+    let { capacity; fanout } = t.layers.(li) in
+    let child_size = capacity / fanout in
+    child.(li) <- !o / child_size;
+    o := !o mod child_size;
+    rho.(li - 1) <- !o / t.layers.(li - 1).capacity;
+    o := !o mod t.layers.(li - 1).capacity
+  done;
+  let slot = !o / t.chunk in
+  let within = !o mod t.chunk in
+  let thread = ref 0 in
+  for li = n - 1 downto 1 do
+    thread := (!thread * t.layers.(li).fanout) + child.(li)
+  done;
+  thread := (!thread * t.layers.(0).fanout) + slot;
+  let x = ref r in
+  for li = n - 1 downto 1 do
+    x := (!x * t.reps.(li - 1)) + rho.(li - 1)
+  done;
+  (!thread, (!x * t.chunk) + within)
+
+let pp ppf t =
+  Format.fprintf ppf "@[pattern: %d threads, chunk %d, layers [%a], reps [%a]@]" t.threads
+    t.chunk
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf ly -> Format.fprintf ppf "S=%d N=%d" ly.capacity ly.fanout))
+    (Array.to_list t.layers)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Format.pp_print_int)
+    (Array.to_list t.reps)

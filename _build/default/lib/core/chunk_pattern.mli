@@ -1,0 +1,59 @@
+(** Step II pattern arithmetic (paper Section 4.2, Algorithm 1).
+
+    A symmetric [n]-layer cache hierarchy is described bottom-up by
+    {!layer} records: layer 1 caches hold [fanout = l] threads each and
+    [capacity = S_1] elements; layer [i+1] caches hold [fanout = N_(i+1)]
+    layer-[i] caches and [capacity = S_(i+1)] elements.  The file layout is
+    the top-layer pattern repeated: an SC1 pattern is one chunk of
+    [S_1 / l] elements per thread; an SC(i+1) pattern repeats each child
+    SCi pattern [t_i = S_(i+1) / (N_(i+1) S_i)] times.
+
+    [offset] places the [x]-th chunk of thread [t] at
+    [base_t + b_n + ... + b_1] with
+    [b_i = ((x / (t_1 ... t_(i-1))) mod t_i) * S_i] and
+    [b_n = (x / (t_1 ... t_(n-1))) * S_n] — exactly the paper's indexing. *)
+
+type layer = { capacity : int; fanout : int }
+
+type t = private {
+  threads : int;
+  layers : layer array;
+  chunk : int;  (** S_1 / l, elements per chunk *)
+  reps : int array;  (** [reps.(i-1) = t_i] for [i = 1 .. n-1] *)
+}
+
+val make : layers:layer array -> t
+(** Strict constructor.
+    @raise Invalid_argument unless every capacity and fanout is positive,
+    [S_1 mod l = 0], and each [t_i = S_(i+1) / (N_(i+1) S_i)] is a positive
+    integer. *)
+
+val fit : ?align:int -> layers:layer array -> unit -> t
+(** Feasibility clamp: rounds [S_1] down so the chunk is a positive multiple
+    of [align] (default 1), and each higher capacity down to the nearest
+    [t_i >= 1] multiple.  Never raises for positive inputs; the clamped
+    capacities are visible in the result's [layers]. *)
+
+val threads : t -> int
+val chunk_elems : t -> int
+
+val period : t -> int
+(** Size of the top pattern [S_n] — the repeating unit of the file layout. *)
+
+val thread_base : t -> int
+(** Elements of the period owned by each thread:
+    [period / threads = chunk * t_1 * ... * t_(n-1)]. *)
+
+val base : t -> thread:int -> int
+(** Starting address of a thread's first chunk within the top pattern. *)
+
+val offset : t -> thread:int -> rank:int -> int
+(** File offset of the [rank]-th element (0-based) of [thread]'s data in
+    thread-local order.
+    @raise Invalid_argument on bad thread or negative rank. *)
+
+val locate : t -> int -> int * int
+(** Inverse of {!offset}: [(thread, rank)] of a file offset.
+    @raise Invalid_argument on a negative offset. *)
+
+val pp : Format.formatter -> t -> unit

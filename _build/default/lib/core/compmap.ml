@@ -1,0 +1,80 @@
+type strategy =
+  | Ident
+  | Reverse
+  | Cluster_swap
+  | Pset_rotate of int
+  | Block_cyclic of int
+
+let divisors n = List.filter (fun d -> n mod d = 0) (List.init n (fun i -> i + 1))
+
+let all_strategies ~cluster ~threads =
+  if cluster < 1 || threads < 1 || threads mod cluster <> 0 then
+    invalid_arg "Compmap.all_strategies: cluster must divide threads";
+  let n_clusters = threads / cluster in
+  let rotations =
+    List.init (min 3 (max 0 (n_clusters - 1))) (fun k -> Pset_rotate (k + 1))
+  in
+  let cyclics =
+    divisors cluster
+    |> List.filter (fun c -> c > 1 && c < cluster)
+    |> List.map (fun c -> Block_cyclic c)
+  in
+  (Ident :: Reverse :: (if n_clusters > 1 then [ Cluster_swap ] else []))
+  @ rotations @ cyclics
+
+let assign strategy ~cluster ~threads ~num_blocks b =
+  if b < 0 || b >= num_blocks then invalid_arg "Compmap.assign: block out of range";
+  let n_clusters = threads / cluster in
+  let r = b mod threads in
+  match strategy with
+  | Ident -> r
+  | Reverse -> threads - 1 - r
+  | Cluster_swap ->
+    let pset = r mod n_clusters and slot = r / n_clusters in
+    (pset * cluster) + (slot mod cluster)
+  | Pset_rotate k ->
+    let pset = (r / cluster) + k and slot = r mod cluster in
+    (pset mod n_clusters * cluster) + slot
+  | Block_cyclic c ->
+    let pset = r / c mod n_clusters in
+    let slot = ((r mod c) + (c * (r / (c * n_clusters)))) mod cluster in
+    (pset * cluster) + slot
+
+type outcome = {
+  choices : (int * strategy) list;
+  time : float;
+  evaluations : int;
+}
+
+let optimize ~nests ~cluster ~threads ~evaluate =
+  let chosen = Array.make nests Ident in
+  let evaluations = ref 0 in
+  let eval () =
+    incr evaluations;
+    evaluate (fun i -> chosen.(i))
+  in
+  let best_time = ref (eval ()) in
+  let family = all_strategies ~cluster ~threads in
+  for i = 0 to nests - 1 do
+    List.iter
+      (fun s ->
+        if s <> chosen.(i) then begin
+          let previous = chosen.(i) in
+          chosen.(i) <- s;
+          let t = eval () in
+          if t < !best_time then best_time := t else chosen.(i) <- previous
+        end)
+      family
+  done;
+  {
+    choices = List.init nests (fun i -> (i, chosen.(i)));
+    time = !best_time;
+    evaluations = !evaluations;
+  }
+
+let strategy_to_string = function
+  | Ident -> "ident"
+  | Reverse -> "reverse"
+  | Cluster_swap -> "cluster-swap"
+  | Pset_rotate k -> Printf.sprintf "pset-rotate(%d)" k
+  | Block_cyclic c -> Printf.sprintf "block-cyclic(%d)" c

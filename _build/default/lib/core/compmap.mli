@@ -1,0 +1,43 @@
+(** Computation mapping for multi-level storage-cache hierarchies — the
+    prior code-restructuring baseline ([26], Kandemir et al., HPDC'10) used
+    in Fig. 7(g).
+
+    Instead of changing data layouts, the scheme re-clusters loop iteration
+    blocks onto threads so that threads sharing a cache touch nearby data.
+    We implement it as the iterative search the paper describes: a family of
+    topology-aware clusterings per loop nest, evaluated by profiling
+    (the [evaluate] callback) and adopted greedily per nest.  File layouts
+    remain canonical. *)
+
+type strategy =
+  | Ident  (** round-robin: block [b] on thread [b mod threads] *)
+  | Reverse  (** reversed thread order *)
+  | Cluster_swap  (** swap the roles of pset index and slot-in-pset *)
+  | Pset_rotate of int  (** rotate blocks across psets by [k] clusters *)
+  | Block_cyclic of int
+      (** distribute runs of [c] consecutive blocks to the same pset *)
+
+val all_strategies : cluster:int -> threads:int -> strategy list
+(** The candidate family explored by the iterative search. *)
+
+val assign : strategy -> cluster:int -> threads:int -> num_blocks:int -> int -> int
+(** Block-to-thread map for one nest.  [cluster] is the number of threads
+    sharing a layer-1 cache.  Total: every value is in [0..threads-1], and
+    when [num_blocks = threads] the map is a bijection. *)
+
+type outcome = {
+  choices : (int * strategy) list;  (** per nest index *)
+  time : float;
+  evaluations : int;
+}
+
+val optimize :
+  nests:int ->
+  cluster:int ->
+  threads:int ->
+  evaluate:((int -> strategy) -> float) ->
+  outcome
+(** Greedy per-nest search over {!all_strategies}; [evaluate f] returns the
+    modeled execution time when nest [i] uses strategy [f i]. *)
+
+val strategy_to_string : strategy -> string

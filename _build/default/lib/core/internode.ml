@@ -1,0 +1,78 @@
+
+type scope = Io_only | Storage_only | Both
+
+type spec = {
+  threads : int;
+  num_blocks : int;
+  layers : Chunk_pattern.layer array;
+  align : int;
+}
+
+let make_spec ~threads ~num_blocks ~layers ~align =
+  if threads < 1 || num_blocks < 1 || align < 1 then
+    invalid_arg "Internode.make_spec: nonpositive field";
+  let product =
+    Array.fold_left (fun acc (ly : Chunk_pattern.layer) -> acc * ly.fanout) 1 layers
+  in
+  if product <> threads then
+    invalid_arg "Internode.make_spec: layer fanouts do not multiply to thread count";
+  { threads; num_blocks; layers = Array.copy layers; align }
+
+let pattern_for spec scope =
+  match scope with
+  | Both -> Chunk_pattern.fit ~align:spec.align ~layers:spec.layers ()
+  | Io_only ->
+    (* capacity 1 above layer 1 makes [fit] clamp every t_i to its minimum;
+       the data-block (stripe) size is a storage-layer parameter this
+       variant does not see, so chunks are element-aligned only — adjacent
+       threads share boundary blocks, which is precisely the footprint
+       inflation the full-hierarchy pass avoids *)
+    let layers =
+      Array.mapi
+        (fun i (ly : Chunk_pattern.layer) -> if i = 0 then ly else { ly with capacity = 1 })
+        spec.layers
+    in
+    Chunk_pattern.fit ~align:1 ~layers ()
+  | Storage_only ->
+    if Array.length spec.layers < 2 then
+      Chunk_pattern.fit ~align:spec.align ~layers:spec.layers ()
+    else begin
+      let l0 = spec.layers.(0) and l1 = spec.layers.(1) in
+      let merged : Chunk_pattern.layer =
+        { capacity = l1.capacity; fanout = l0.fanout * l1.fanout }
+      in
+      let rest = Array.sub spec.layers 2 (Array.length spec.layers - 2) in
+      Chunk_pattern.fit ~align:spec.align ~layers:(Array.append [| merged |] rest) ()
+    end
+
+let layout_for ~space ~partition spec scope =
+  let pattern = pattern_for spec scope in
+  let stride = max 1 (abs partition.Array_partition.stride) in
+  let per_block =
+    (partition.Array_partition.u_extent + spec.num_blocks - 1) / spec.num_blocks
+  in
+  File_layout.internode ~space ~d:partition.Array_partition.d
+    ~v:partition.Array_partition.v ~num_blocks:spec.num_blocks
+    ~v_origin:partition.Array_partition.origin
+    ~slab_height:(max 1 (stride * per_block))
+    ~pattern
+
+let template_spec ~fanouts ~chunk ~align ~num_blocks =
+  if Array.length fanouts = 0 then invalid_arg "Internode.template_spec: no fanouts";
+  if chunk < 1 then invalid_arg "Internode.template_spec: chunk < 1";
+  let threads = Array.fold_left ( * ) 1 fanouts in
+  (* minimal capacities: S_1 = l * chunk, each higher layer exactly one
+     repetition of its children *)
+  let layers = Array.make (Array.length fanouts) { Chunk_pattern.capacity = 0; fanout = 1 } in
+  let prev = ref (chunk * fanouts.(0)) in
+  layers.(0) <- { Chunk_pattern.capacity = !prev; fanout = fanouts.(0) };
+  for i = 1 to Array.length fanouts - 1 do
+    prev := !prev * fanouts.(i);
+    layers.(i) <- { Chunk_pattern.capacity = !prev; fanout = fanouts.(i) }
+  done;
+  make_spec ~threads ~num_blocks ~layers ~align
+
+let scope_to_string = function
+  | Io_only -> "io-only"
+  | Storage_only -> "storage-only"
+  | Both -> "both"

@@ -1,0 +1,47 @@
+(** Storage-hierarchy-aware layout formation (Step II glue).
+
+    Combines a Step I partition with a chunk pattern derived from the cache
+    hierarchy.  [scope] reproduces Fig. 7(f): the pattern can be built
+    considering only the I/O-node layer, only the storage-node layer, or
+    the full hierarchy. *)
+
+open Flo_poly
+
+type scope = Io_only | Storage_only | Both
+
+type spec = {
+  threads : int;
+  num_blocks : int;  (** iteration blocks per nest (round-robin over threads) *)
+  layers : Chunk_pattern.layer array;
+      (** full hierarchy bottom-up; capacities are this array's share of each
+          cache, in elements *)
+  align : int;  (** data block size in elements (chunks are block-aligned) *)
+}
+
+val make_spec :
+  threads:int -> num_blocks:int -> layers:Chunk_pattern.layer array -> align:int -> spec
+(** @raise Invalid_argument if [threads] differs from the product of layer
+    fanouts, or any field is non-positive. *)
+
+val pattern_for : spec -> scope -> Chunk_pattern.t
+(** [Both]: fit the declared capacities.  [Io_only]: capacities above layer
+    1 collapse to their minimum ([t_i = 1]) so only the I/O-cache size
+    shapes the interleave; chunks are element-aligned (the stripe/block
+    size is a storage-layer parameter this variant does not see), so
+    adjacent threads share boundary blocks.  [Storage_only]: layer 1 is
+    merged into layer 2 — each thread's chunk is an equal share of the
+    storage cache. *)
+
+val layout_for :
+  space:Data_space.t -> partition:Array_partition.result -> spec -> scope -> File_layout.t
+
+val template_spec : fanouts:int array -> chunk:int -> align:int -> num_blocks:int -> spec
+(** The "template hierarchy" extension of Section 4.3: all hierarchies
+    sharing the same fanout vector belong to one template, and a single
+    compilation serves every member.  The pattern uses the minimal feasible
+    capacities ([t_i = 1] everywhere) with a [chunk]-element thread chunk, so
+    it is capacity-oblivious — correct on any member, with some performance
+    loss versus a capacity-exact compilation (quantified by bench ablation
+    A3).  @raise Invalid_argument on non-positive arguments. *)
+
+val scope_to_string : scope -> string

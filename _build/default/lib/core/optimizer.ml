@@ -1,0 +1,79 @@
+open Flo_poly
+
+type decision = {
+  array_id : int;
+  array_name : string;
+  layout : File_layout.t;
+  partition : Array_partition.result option;
+}
+
+type plan = {
+  program : Program.t;
+  scope : Internode.scope;
+  decisions : decision list;
+}
+
+let run ?(weighted = true) ?(min_coverage = 0.5) ?(scope = Internode.Both) ~spec program =
+  let decide id =
+    let decl = Program.array_decl program id in
+    let refs = Program.refs_to program id in
+    let groups = Weights.group_refs refs in
+    if decl.Program.opaque then
+      {
+        array_id = id;
+        array_name = decl.Program.name;
+        layout = File_layout.Row_major decl.Program.space;
+        partition = None;
+      }
+    else
+    match Array_partition.solve ~weighted groups with
+    | Some partition when partition.Array_partition.coverage > min_coverage ->
+      let layout = Internode.layout_for ~space:decl.Program.space ~partition spec scope in
+      {
+        array_id = id;
+        array_name = decl.Program.name;
+        layout;
+        partition = Some partition;
+      }
+    | Some _ | None ->
+      (* unsolvable, or no weighted majority of references is satisfied:
+         restructuring would hurt more references than it helps *)
+      {
+        array_id = id;
+        array_name = decl.Program.name;
+        layout = File_layout.Row_major decl.Program.space;
+        partition = None;
+      }
+  in
+  { program; scope; decisions = List.map decide (Program.array_ids program) }
+
+let layout_of plan id =
+  let d = List.find (fun d -> d.array_id = id) plan.decisions in
+  d.layout
+
+let optimized_count plan =
+  List.length (List.filter (fun d -> d.partition <> None) plan.decisions)
+
+let total_arrays plan = List.length plan.decisions
+
+let mean_coverage plan =
+  let covs =
+    List.filter_map
+      (fun d -> Option.map (fun p -> p.Array_partition.coverage) d.partition)
+      plan.decisions
+  in
+  match covs with
+  | [] -> 0.
+  | _ -> List.fold_left ( +. ) 0. covs /. float_of_int (List.length covs)
+
+let pp ppf plan =
+  Format.fprintf ppf "@[<v>plan for %s (scope %s): %d/%d arrays optimized@,%a@]"
+    plan.program.Program.name
+    (Internode.scope_to_string plan.scope)
+    (optimized_count plan) (total_arrays plan)
+    (Format.pp_print_list (fun ppf d ->
+         Format.fprintf ppf "  %s -> %s%s" d.array_name (File_layout.describe d.layout)
+           (match d.partition with
+           | Some p -> Format.asprintf " (coverage %.0f%%)" (100. *. p.Array_partition.coverage)
+           | None -> " (not optimizable)")))
+    plan.decisions

@@ -1,0 +1,92 @@
+open Flo_poly
+
+let rec permutations n =
+  if n <= 0 then invalid_arg "Reindex.permutations: n < 1"
+  else if n = 1 then [ [| 0 |] ]
+  else
+    (* insert (n-1) into every position of every permutation of (n-1) *)
+    let smaller = permutations (n - 1) in
+    List.concat_map
+      (fun p ->
+        List.init n (fun pos ->
+            Array.init n (fun i ->
+                if i < pos then p.(i) else if i = pos then n - 1 else p.(i - 1))))
+      smaller
+    |> List.sort_uniq compare
+
+let candidates space =
+  List.map (File_layout.permuted space) (permutations (Data_space.rank space))
+
+(* Dimension order implied by one access matrix: dimension indexed by a
+   deeper loop iterator goes further inside (is stored more contiguously). *)
+let order_of_group space (g : Weights.group) =
+  let q = g.Weights.matrix in
+  let m = Flo_linalg.Imat.rows q and n = Flo_linalg.Imat.cols q in
+  let depth_of r =
+    let d = ref (-1) in
+    for j = 0 to n - 1 do
+      if Flo_linalg.Imat.get q r j <> 0 then d := j
+    done;
+    !d
+  in
+  let dims = List.init m (fun r -> (depth_of r, r)) in
+  let sorted = List.stable_sort (fun (a, ra) (b, rb) -> compare (a, ra) (b, rb)) dims in
+  let order = Array.of_list (List.map snd sorted) in
+  if order = Array.init m Fun.id then File_layout.Row_major space
+  else File_layout.permuted space order
+
+(* Static variant: per array, pick the dimension order that makes the
+   weight-dominant reference's deepest iterator innermost (ties between the
+   two heaviest constraint groups keep the canonical layout).  This is the
+   single-array, hierarchy-oblivious core of [27] without profile runs. *)
+let dominant_order program =
+  let order_for id =
+    let decl = Program.array_decl program id in
+    let space = decl.Program.space in
+    match Weights.group_refs (Program.refs_to program id) with
+    | [] -> File_layout.Row_major space
+    | [ g ] -> order_of_group space g
+    | g1 :: g2 :: _ ->
+      if g1.Weights.weight = g2.Weights.weight then File_layout.Row_major space
+      else order_of_group space g1
+  in
+  List.map (fun id -> (id, order_for id)) (Program.array_ids program)
+
+type outcome = {
+  layouts : (int * File_layout.t) list;
+  time : float;
+  evaluations : int;
+}
+
+let optimize program ~evaluate =
+  let ids = Program.array_ids program in
+  let current = Hashtbl.create 8 in
+  List.iter
+    (fun id ->
+      let decl = Program.array_decl program id in
+      Hashtbl.replace current id (File_layout.Row_major decl.Program.space))
+    ids;
+  let assignment id = Hashtbl.find current id in
+  let evaluations = ref 0 in
+  let eval () =
+    incr evaluations;
+    evaluate assignment
+  in
+  let best_time = ref (eval ()) in
+  List.iter
+    (fun id ->
+      let decl = Program.array_decl program id in
+      List.iter
+        (fun layout ->
+          let previous = Hashtbl.find current id in
+          Hashtbl.replace current id layout;
+          let t = eval () in
+          if t < !best_time then best_time := t
+          else Hashtbl.replace current id previous)
+        (candidates decl.Program.space))
+    ids;
+  {
+    layouts = List.map (fun id -> (id, Hashtbl.find current id)) ids;
+    time = !best_time;
+    evaluations = !evaluations;
+  }

@@ -1,0 +1,35 @@
+(** Profile-driven dimension reindexing — the prior file-layout baseline
+    ([27], Kandemir et al., FAST'08) used in Fig. 7(g).
+
+    For each array the scheme exhaustively tries every dimension permutation
+    (e.g. 6 layouts for a 3-D array), profiles the program, and keeps the
+    best.  Arrays are visited greedily in id order with the other arrays'
+    layouts fixed at their current best, exactly as one would drive the
+    profile loop in practice.  The search is parameterized by an [evaluate]
+    callback (modeled execution time from the engine) so this module stays
+    independent of the simulator. *)
+
+open Flo_poly
+
+val permutations : int -> int array list
+(** All permutations of [0 .. n-1], lexicographic; [n!] entries. *)
+
+val candidates : Data_space.t -> File_layout.t list
+(** All [Permuted] layouts of an array. *)
+
+val dominant_order : Program.t -> (int * File_layout.t) list
+(** Static variant (no profile runs): per array, the dimension permutation
+    that makes the weight-dominant reference's deepest loop iterator index
+    the innermost stored dimension; a weight tie between the two heaviest
+    groups keeps the canonical layout.  This is the hierarchy-oblivious,
+    single-array core of [27] and the comparator used in Fig. 7(g). *)
+
+type outcome = {
+  layouts : (int * File_layout.t) list;  (** chosen layout per array id *)
+  time : float;  (** [evaluate] value of the chosen assignment *)
+  evaluations : int;  (** profile runs spent *)
+}
+
+val optimize : Program.t -> evaluate:((int -> File_layout.t) -> float) -> outcome
+(** [evaluate f] must return the modeled execution time under the layout
+    assignment [f] (total over arrays).  Lower is better. *)

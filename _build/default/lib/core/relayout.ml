@@ -1,0 +1,55 @@
+open Flo_poly
+
+type move = { element : Flo_linalg.Ivec.t; src : int; dst : int }
+
+type plan = {
+  from_layout : File_layout.t;
+  to_layout : File_layout.t;
+  src_blocks : int;
+  dst_blocks : int;
+  moved : int;
+}
+
+let check_spaces a b =
+  if Data_space.extents (File_layout.space a) <> Data_space.extents (File_layout.space b)
+  then invalid_arg "Relayout: layouts describe different data spaces"
+
+let plan ~block_elems ~from_layout ~to_layout =
+  check_spaces from_layout to_layout;
+  if block_elems < 1 then invalid_arg "Relayout.plan: block_elems < 1";
+  let src = Hashtbl.create 1024 and dst = Hashtbl.create 1024 in
+  let moved = ref 0 in
+  Data_space.iter (File_layout.space from_layout) (fun a ->
+      let s = File_layout.offset_of from_layout a in
+      let d = File_layout.offset_of to_layout a in
+      if s <> d then begin
+        incr moved;
+        Hashtbl.replace src (s / block_elems) ();
+        Hashtbl.replace dst (d / block_elems) ()
+      end);
+  {
+    from_layout;
+    to_layout;
+    src_blocks = Hashtbl.length src;
+    dst_blocks = Hashtbl.length dst;
+    moved = !moved;
+  }
+
+let iter_moves ~from_layout ~to_layout f =
+  check_spaces from_layout to_layout;
+  (* collect and order by source offset: a streaming converter reads the
+     source file sequentially *)
+  let moves = ref [] in
+  Data_space.iter (File_layout.space from_layout) (fun a ->
+      let src = File_layout.offset_of from_layout a in
+      let dst = File_layout.offset_of to_layout a in
+      if src <> dst then moves := { element = Array.copy a; src; dst } :: !moves);
+  List.iter f (List.sort (fun m1 m2 -> compare m1.src m2.src) !moves)
+
+let cost_us ~read_us ~write_us plan =
+  (float_of_int plan.src_blocks *. read_us) +. (float_of_int plan.dst_blocks *. write_us)
+
+let break_even ~conversion_us ~default_us ~optimized_us =
+  let gain = default_us -. optimized_us in
+  if gain <= 0. then None
+  else Some (max 1 (int_of_float (ceil (conversion_us /. gain))))

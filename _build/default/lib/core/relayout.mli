@@ -1,0 +1,47 @@
+(** Layout conversion passes (the paper's Section 4.3 extension).
+
+    The inter-node layout is private to one compiled binary: the mapping
+    from array elements to file offsets exists only in the executable, so
+    the data is unreadable by other applications.  The fix the paper
+    sketches is a pair of conversions — input arrays are transformed from a
+    canonical layout when the program starts, output arrays back to a
+    canonical (or consumer-desired) layout when it ends.
+
+    This module plans such conversions and estimates their I/O cost so the
+    engine can report when optimization + conversion still beats running
+    with canonical layouts (amortization). *)
+
+
+
+type move = { element : Flo_linalg.Ivec.t; src : int; dst : int }
+
+type plan = {
+  from_layout : File_layout.t;
+  to_layout : File_layout.t;
+  src_blocks : int;  (** distinct blocks read, at [block_elems] granularity *)
+  dst_blocks : int;  (** distinct blocks written *)
+  moved : int;  (** elements whose offset changes *)
+}
+
+val plan : block_elems:int -> from_layout:File_layout.t -> to_layout:File_layout.t -> plan
+(** Streams the array once in source order.
+    @raise Invalid_argument if the two layouts describe different data
+    spaces. *)
+
+val iter_moves :
+  from_layout:File_layout.t -> to_layout:File_layout.t -> (move -> unit) -> unit
+(** Enumerate the element moves in source-offset order (the order a
+    streaming converter would perform them).  Elements whose offset is
+    unchanged are skipped. *)
+
+val cost_us :
+  read_us:float -> write_us:float -> plan -> float
+(** [src_blocks * read_us + dst_blocks * write_us]: the modeled one-off
+    conversion cost. *)
+
+val break_even :
+  conversion_us:float -> default_us:float -> optimized_us:float -> int option
+(** Number of whole executions after which converting in and out of the
+    optimized layout beats staying canonical:
+    smallest [n] with [conversion_us + n * optimized < n * default].
+    [None] when the optimized layout is not faster. *)

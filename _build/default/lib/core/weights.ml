@@ -1,0 +1,39 @@
+open Flo_linalg
+open Flo_poly
+
+type group = {
+  matrix : Imat.t;
+  parallel_dim : int;
+  refs : (Loop_nest.t * Access.t) list;
+  weight : int;
+}
+
+let weight_of_ref nest = Loop_nest.trip_count nest
+
+let group_refs refs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (nest, r) ->
+      let key = (Access.matrix r, nest.Loop_nest.parallel_dim) in
+      let existing = try Hashtbl.find tbl key with Not_found -> [] in
+      Hashtbl.replace tbl key ((nest, r) :: existing))
+    refs;
+  let groups =
+    Hashtbl.fold
+      (fun (matrix, parallel_dim) refs acc ->
+        let weight = List.fold_left (fun w (nest, _) -> w + weight_of_ref nest) 0 refs in
+        { matrix; parallel_dim; refs = List.rev refs; weight } :: acc)
+      tbl []
+  in
+  List.sort
+    (fun a b ->
+      let c = compare b.weight a.weight in
+      if c <> 0 then c else compare (a.matrix, a.parallel_dim) (b.matrix, b.parallel_dim))
+    groups
+
+let coverage groups ~satisfied =
+  let total = List.fold_left (fun acc g -> acc + g.weight) 0 groups in
+  if total = 0 then 0.
+  else
+    let sat = List.fold_left (fun acc g -> if satisfied g then acc + g.weight else acc) 0 groups in
+    float_of_int sat /. float_of_int total

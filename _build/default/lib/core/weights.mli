@@ -1,0 +1,27 @@
+(** Reference weighting (paper Eq. 5).
+
+    When multiple references to one array have different access matrices,
+    the homogeneous systems of Eq. 4 may be jointly unsolvable; the pass
+    then prioritizes constraint groups by weight [W(Q_i) = sum n_j], where
+    [n_j] is the trip-count product of the loops enclosing reference [j]. *)
+
+open Flo_linalg
+open Flo_poly
+
+type group = {
+  matrix : Imat.t;  (** shared access matrix [Q_i] *)
+  parallel_dim : int;  (** the nests' [u] (grouping key alongside [Q]) *)
+  refs : (Loop_nest.t * Access.t) list;
+  weight : int;  (** [W(Q_i)] *)
+}
+
+val weight_of_ref : Loop_nest.t -> int
+(** [n_j]: the nest's trip count (including its weight multiplier). *)
+
+val group_refs : (Loop_nest.t * Access.t) list -> group list
+(** Group references by (access matrix, parallel dim), weights summed,
+    sorted by descending weight (ties broken deterministically). *)
+
+val coverage : group list -> satisfied:(group -> bool) -> float
+(** Fraction of total weight in groups accepted by [satisfied]; 0 when the
+    list is empty. *)

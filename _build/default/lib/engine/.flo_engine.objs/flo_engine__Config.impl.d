@@ -1,0 +1,1 @@
+lib/engine/config.ml: Chunk_pattern Disk Flo_core Flo_poly Flo_storage Hierarchy Internode List Program Topology

@@ -1,0 +1,1 @@
+lib/engine/config.mli: Disk Flo_core Flo_poly Flo_storage Hierarchy Internode Program Topology

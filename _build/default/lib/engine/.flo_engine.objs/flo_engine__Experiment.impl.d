@@ -1,0 +1,1 @@
+lib/engine/experiment.ml: App Array Compmap Config File_layout Flo_core Flo_poly Flo_storage Flo_workloads Fun Internode List Optimizer Reindex Run Topology

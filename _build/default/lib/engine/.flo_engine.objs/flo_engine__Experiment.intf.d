@@ -1,0 +1,1 @@
+lib/engine/experiment.mli: App Compmap Config File_layout Flo_core Flo_workloads Internode Optimizer Reindex Run

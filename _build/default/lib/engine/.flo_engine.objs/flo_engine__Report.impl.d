@@ -1,0 +1,1 @@
+lib/engine/report.ml: List Printf String

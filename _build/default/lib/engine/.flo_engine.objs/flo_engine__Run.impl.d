@@ -1,0 +1,1 @@
+lib/engine/run.ml: App Array Block Config Flo_poly Flo_storage Flo_workloads Format Hashtbl Hierarchy Karma List Lru Option Policy Stats Topology Tracegen

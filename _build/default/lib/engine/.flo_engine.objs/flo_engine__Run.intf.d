@@ -1,0 +1,1 @@
+lib/engine/run.mli: App Block Compmap Config File_layout Flo_core Flo_storage Flo_workloads Format Karma Policy Stats

@@ -1,0 +1,1 @@
+lib/engine/tracegen.ml: Access Array Block Compmap File_layout Flo_core Flo_poly Flo_storage Hashtbl Iter_space List Loop_nest Parallelize

@@ -1,0 +1,1 @@
+lib/engine/tracegen.mli: Block Compmap File_layout Flo_core Flo_poly Flo_storage Loop_nest

@@ -1,0 +1,49 @@
+open Flo_storage
+open Flo_core
+open Flo_poly
+
+type t = {
+  topology : Topology.t;
+  blocks_per_thread : int;
+  quantum : int;
+  costs : Hierarchy.costs;
+  disk_params : Disk.params;
+  client_buffer_blocks : int;
+  client_hit_us : float;
+}
+
+let default =
+  {
+    topology = Topology.default;
+    blocks_per_thread = 1;
+    quantum = 4;
+    costs = Hierarchy.default_costs;
+    disk_params = Disk.default_params;
+    client_buffer_blocks = 16;
+    client_hit_us = 2.;
+  }
+
+let with_topology t topology = { t with topology }
+
+let threads t = Topology.threads t.topology
+
+let spec_for t program =
+  let topo = t.topology in
+  let num_arrays = max 1 (List.length program.Program.arrays) in
+  let elems_of blocks = max 1 (blocks * topo.Topology.block_elems / num_arrays) in
+  let s1 = elems_of topo.Topology.io_cache_blocks in
+  let s2 = elems_of topo.Topology.storage_cache_blocks in
+  let layers =
+    [|
+      { Chunk_pattern.capacity = s1; fanout = Topology.threads_per_io topo };
+      { Chunk_pattern.capacity = s2; fanout = Topology.io_per_storage topo };
+      (* top pseudo-layer: spans the storage nodes with minimal repetition *)
+      {
+        Chunk_pattern.capacity = s2 * topo.Topology.storage_nodes;
+        fanout = topo.Topology.storage_nodes;
+      };
+    |]
+  in
+  Internode.make_spec ~threads:(Topology.threads topo)
+    ~num_blocks:(Topology.threads topo * t.blocks_per_thread)
+    ~layers ~align:topo.Topology.block_elems

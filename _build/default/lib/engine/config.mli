@@ -1,0 +1,34 @@
+(** Experiment configuration: the scaled-down Table 1 system plus execution
+    model constants, and the bridge from a concrete {!Flo_storage.Topology}
+    to the storage-agnostic pattern spec of the layout pass. *)
+
+open Flo_storage
+open Flo_core
+open Flo_poly
+
+type t = {
+  topology : Topology.t;
+  blocks_per_thread : int;  (** iteration blocks per thread (default 1) *)
+  quantum : int;  (** block requests per thread per interleave round *)
+  costs : Hierarchy.costs;
+  disk_params : Disk.params;
+  client_buffer_blocks : int;
+      (** MPI-IO data-sieving buffer per thread (blocks); not a storage
+          cache — the paper's compute nodes have none — but the I/O
+          runtime's request coalescing window *)
+  client_hit_us : float;  (** cost of serving a request from that buffer *)
+}
+
+val default : t
+(** The defaults of Table 1, scaled (64/16/4 nodes, 64-element blocks,
+    256/512-block caches). *)
+
+val with_topology : t -> Topology.t -> t
+
+val spec_for : t -> Program.t -> Internode.spec
+(** Pattern spec for one program: layer capacities are each cache's share
+    per disk-resident array (in elements), fanouts follow the nominal node
+    tree, and a top pseudo-layer spans the storage nodes so the pattern
+    interleaves all threads. *)
+
+val threads : t -> int

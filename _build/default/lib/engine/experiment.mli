@@ -1,0 +1,60 @@
+(** High-level experiment drivers: one function per table/figure family.
+
+    All "normalized" values follow the paper: the optimized (or variant)
+    execution time divided by the default execution's under the {e same}
+    caching scheme, so 0.763 means a 23.7% improvement. *)
+
+open Flo_core
+open Flo_workloads
+
+val default_layouts : App.t -> int -> File_layout.t
+(** Row-major for every array — the paper's "original file layouts". *)
+
+val inter_plan :
+  ?weighted:bool -> ?scope:Internode.scope -> Config.t -> App.t -> Optimizer.plan
+(** Run the compiler pass for an app under a configuration. *)
+
+val inter_layouts :
+  ?weighted:bool -> ?scope:Internode.scope -> Config.t -> App.t -> int -> File_layout.t
+
+val default_run : ?mapping:int array -> ?caching:Run.caching -> Config.t -> App.t -> Run.result
+
+val inter_run :
+  ?mapping:int array ->
+  ?caching:Run.caching ->
+  ?weighted:bool ->
+  ?scope:Internode.scope ->
+  Config.t ->
+  App.t ->
+  Run.result
+
+val normalized : base:Run.result -> Run.result -> float
+(** Ratio of modeled execution times. *)
+
+val reindex_best : ?sample:int -> Config.t -> App.t -> Reindex.outcome
+(** The [27] baseline: profile-driven (sampled) exhaustive dimension
+    reindexing, greedy per array.  Profiling is single-node centric — it
+    evaluates a sequential one-cache system, the paper's stated limitation
+    of prior layout work. *)
+
+val reindex_run : ?sample:int -> Config.t -> App.t -> Run.result
+(** Full-scale run under the layouts {!reindex_best} chose. *)
+
+val inter_template_run : Config.t -> App.t -> Run.result
+(** The Section 4.3 "template hierarchy" extension: a capacity-oblivious
+    layout compiled once per fanout template (one-block chunks, minimal
+    pattern), valid for every hierarchy of the template. *)
+
+val reindex_static_run : Config.t -> App.t -> Run.result
+(** Full-scale run under {!Flo_core.Reindex.dominant_order}'s static choice
+    — the Fig. 7(g) comparator. *)
+
+val compmap_best : ?sample:int -> Config.t -> App.t -> Compmap.outcome
+(** The [26] baseline: iterative computation-mapping search (layouts stay
+    row-major). *)
+
+val compmap_run : ?sample:int -> Config.t -> App.t -> Run.result
+
+val random_mapping : seed:int -> Config.t -> int array
+(** Deterministic pseudo-random thread-to-compute-node permutation
+    (Mappings II-IV of Fig. 7(b) use seeds 1-3). *)

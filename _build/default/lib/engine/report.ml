@@ -1,0 +1,39 @@
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc r -> max acc (try String.length (List.nth r c) with _ -> 0))
+      0 all
+  in
+  let widths = List.init cols width in
+  let render_row r =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           let cell = try List.nth r c with _ -> "" in
+           let pad = w - String.length cell in
+           if c = 0 then cell ^ String.make pad ' ' else String.make pad ' ' ^ cell)
+         widths)
+  in
+  let sep = String.make (List.fold_left ( + ) (2 * (cols - 1)) widths) '-' in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)
+
+let print_table ~title ~header rows =
+  print_endline ("== " ^ title ^ " ==");
+  print_endline (table ~header rows);
+  print_newline ()
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let f3 v = Printf.sprintf "%.3f" v
+let pct v = Printf.sprintf "%.1f" (100. *. v)
+let ms us = Printf.sprintf "%.1f" (us /. 1000.)
+
+let mean = function
+  | [] -> 0.
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+let geomean = function
+  | [] -> 0.
+  | l -> exp (List.fold_left (fun acc x -> acc +. log x) 0. l /. float_of_int (List.length l))

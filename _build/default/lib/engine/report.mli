@@ -1,0 +1,21 @@
+(** Plain-text table rendering for the benchmark harness. *)
+
+val table : header:string list -> string list list -> string
+(** Left-aligned first column, right-aligned rest, column-fitted. *)
+
+val print_table : title:string -> header:string list -> string list list -> unit
+(** Render to stdout with a title line and a trailing blank line. *)
+
+val f1 : float -> string
+(** One decimal place. *)
+
+val f2 : float -> string
+val f3 : float -> string
+val pct : float -> string
+(** Ratio as a percentage, one decimal: [0.237 -> "23.7"]. *)
+
+val ms : float -> string
+(** Microseconds rendered as milliseconds, one decimal. *)
+
+val mean : float list -> float
+val geomean : float list -> float

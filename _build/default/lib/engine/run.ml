@@ -1,0 +1,183 @@
+open Flo_storage
+open Flo_workloads
+
+type caching = Lru | Demote | Karma | Custom of Policy.factory * Policy.factory
+
+type result = {
+  app : string;
+  elapsed_us : float;
+  l1 : Stats.t;
+  l2 : Stats.t;
+  disk_reads : int;
+  block_requests : int;
+  element_accesses : int;
+  iterations : int;
+}
+
+(* Miss rates comparable with the paper's Tables 2-3 use element accesses
+   as the denominator: the work an execution performs is fixed, while the
+   number of block requests the hierarchy sees depends on the layout. *)
+let l1_miss_per_element r =
+  if r.element_accesses = 0 then 0.
+  else float_of_int r.l1.Stats.misses /. float_of_int r.element_accesses
+
+let l2_miss_per_element r =
+  if r.element_accesses = 0 then 0.
+  else float_of_int r.l2.Stats.misses /. float_of_int r.element_accesses
+
+let karma_hints_of_streams ~io_of_thread ~io_nodes weighted_streams =
+  let hints = Array.make io_nodes [] in
+  List.iter
+    (fun (weight, streams) ->
+      Array.iteri
+        (fun thread blocks ->
+          if Array.length blocks > 0 then begin
+            (* one range per file touched by this thread in this nest *)
+            let per_file = Hashtbl.create 4 in
+            Array.iter
+              (fun b ->
+                let file = Block.file b and idx = Block.index b in
+                match Hashtbl.find_opt per_file file with
+                | None -> Hashtbl.replace per_file file (idx, idx, 1)
+                | Some (lo, hi, n) ->
+                  Hashtbl.replace per_file file (min lo idx, max hi idx, n + 1))
+              blocks;
+            let io = io_of_thread thread in
+            Hashtbl.iter
+              (fun file (lo, hi, n) ->
+                let hint =
+                  {
+                    Karma.file;
+                    lo_block = lo;
+                    hi_block = hi;
+                    accesses = float_of_int (n * weight);
+                  }
+                in
+                hints.(io) <- hint :: hints.(io))
+              per_file
+          end)
+        streams)
+    weighted_streams;
+  hints
+
+let run ?mapping ?(caching = Lru) ?assigns ?(sample = 1) ?(readahead = 0) ~config ~layouts app =
+  let topo = config.Config.topology in
+  let threads = Topology.threads topo in
+  let block_elems = topo.Topology.block_elems in
+  let cluster = Topology.threads_per_io topo in
+  let program = app.App.program in
+  let nests = program.Flo_poly.Program.nests in
+  let weighted_streams =
+    List.mapi
+      (fun i nest ->
+        let assign = Option.map (fun f -> f i) assigns in
+        let streams =
+          Tracegen.nest_streams ~layouts ~block_elems ~threads
+            ~blocks_per_thread:config.Config.blocks_per_thread ?assign ~cluster ~sample nest
+        in
+        (nest, streams))
+      nests
+  in
+  let mapping_fn =
+    match mapping with
+    | Some m -> fun t -> m.(t)
+    | None -> fun t -> t mod topo.Topology.compute_nodes
+  in
+  let hier =
+    match caching with
+    | Lru -> Hierarchy.create ?mapping ~costs:config.Config.costs
+               ~disk_params:config.Config.disk_params ~readahead topo
+    | Demote ->
+      Hierarchy.create ?mapping ~protocol:Hierarchy.Demote_exclusive
+        ~costs:config.Config.costs ~disk_params:config.Config.disk_params ~readahead topo
+    | Custom (f1, f2) ->
+      Hierarchy.create ?mapping ~l1_factory:f1 ~l2_factory:f2 ~costs:config.Config.costs
+        ~disk_params:config.Config.disk_params ~readahead topo
+    | Karma ->
+      let io_of_thread t = Topology.io_of_compute topo (mapping_fn t) in
+      let hints =
+        karma_hints_of_streams ~io_of_thread ~io_nodes:topo.Topology.io_nodes
+          (List.map
+             (fun (nest, streams) -> (nest.Flo_poly.Loop_nest.weight, streams))
+             weighted_streams)
+      in
+      let plan =
+        Karma.plan ~l1_hints:hints ~l1_capacity:topo.Topology.io_cache_blocks
+          ~l2_capacity_total:(topo.Topology.storage_cache_blocks * topo.Topology.storage_nodes)
+      in
+      let l1 = Array.init topo.Topology.io_nodes (fun io -> Karma.l1_cache plan ~io) in
+      let l2 =
+        Array.init topo.Topology.storage_nodes (fun _ ->
+            Karma.l2_cache plan ~storage_nodes:topo.Topology.storage_nodes)
+      in
+      Hierarchy.create ?mapping ~l1 ~l2 ~costs:config.Config.costs
+        ~disk_params:config.Config.disk_params ~readahead topo
+  in
+  let block_requests = ref 0 in
+  let iterations = ref 0 in
+  let element_accesses = ref 0 in
+  (* per-thread MPI-IO data-sieving buffers (see Config.client_buffer_blocks) *)
+  let buffers =
+    Array.init threads (fun _ -> Lru.create ~capacity:config.Config.client_buffer_blocks)
+  in
+  let request thread b =
+    if buffers.(thread).Policy.touch b then
+      Hierarchy.add_cpu_us hier ~thread config.Config.client_hit_us
+    else begin
+      ignore (buffers.(thread).Policy.insert b);
+      incr block_requests;
+      Hierarchy.access hier ~thread b
+    end
+  in
+  List.iteri
+    (fun i (nest, streams) ->
+      ignore i;
+      let iters =
+        Tracegen.iterations_per_thread ~threads
+          ~blocks_per_thread:config.Config.blocks_per_thread ~sample nest
+      in
+      for _rep = 1 to nest.Flo_poly.Loop_nest.weight do
+        (* round-robin interleave across threads, [quantum] requests a turn *)
+        let cursors = Array.make threads 0 in
+        let live = ref threads in
+        while !live > 0 do
+          live := 0;
+          for t = 0 to threads - 1 do
+            let stream = streams.(t) in
+            let len = Array.length stream in
+            let upto = min len (cursors.(t) + config.Config.quantum) in
+            for k = cursors.(t) to upto - 1 do
+              request t stream.(k)
+            done;
+            cursors.(t) <- upto;
+            if upto < len then incr live
+          done
+        done;
+        let nrefs = List.length nest.Flo_poly.Loop_nest.refs in
+        Array.iteri
+          (fun t n ->
+            iterations := !iterations + n;
+            element_accesses := !element_accesses + (n * nrefs);
+            Hierarchy.add_cpu_us hier ~thread:t
+              (float_of_int n *. app.App.cpu_us_per_iteration))
+          iters
+      done)
+    weighted_streams;
+  {
+    app = app.App.name;
+    elapsed_us = Hierarchy.elapsed_us hier;
+    l1 = Hierarchy.l1_stats hier;
+    l2 = Hierarchy.l2_stats hier;
+    disk_reads = Hierarchy.disk_reads hier;
+    block_requests = !block_requests;
+    element_accesses = !element_accesses;
+    iterations = !iterations;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[%s: time %.1f ms, L1 miss %.1f%%, L2 miss %.1f%%, %d requests, %d disk reads@]"
+    r.app (r.elapsed_us /. 1000.)
+    (100. *. Stats.miss_rate r.l1)
+    (100. *. Stats.miss_rate r.l2)
+    r.block_requests r.disk_reads

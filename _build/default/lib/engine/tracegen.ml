@@ -1,0 +1,68 @@
+open Flo_poly
+open Flo_storage
+open Flo_core
+
+let plan_of ~threads ~blocks_per_thread ?assign ?cluster nest =
+  let u = nest.Loop_nest.parallel_dim in
+  let extent = Iter_space.extent nest.Loop_nest.space u in
+  let num_blocks = min (threads * blocks_per_thread) extent in
+  match assign with
+  | None -> Parallelize.custom ~threads ~num_blocks ~assign:(fun b -> b mod threads) nest
+  | Some strategy ->
+    let cluster =
+      match cluster with
+      | Some c -> c
+      | None -> invalid_arg "Tracegen: assign requires cluster"
+    in
+    Parallelize.custom ~threads ~num_blocks
+      ~assign:(fun b -> Compmap.assign strategy ~cluster ~threads ~num_blocks b)
+      nest
+
+let nest_streams ~layouts ~block_elems ~threads ~blocks_per_thread ?assign ?cluster
+    ?(sample = 1) nest =
+  if sample < 1 then invalid_arg "Tracegen.nest_streams: sample < 1";
+  let plan = plan_of ~threads ~blocks_per_thread ?assign ?cluster nest in
+  let refs =
+    List.map (fun r -> (Access.array_id r, layouts (Access.array_id r), r)) nest.Loop_nest.refs
+  in
+  let totals = Parallelize.iterations_per_thread plan in
+  Array.init threads (fun thread ->
+      let acc = ref [] in
+      let count = ref 0 in
+      (* per-file last-block memory: the I/O runtime buffers one block per
+         open file, so a request is only issued when a reference leaves the
+         block it last read from that file *)
+      let last_index = Hashtbl.create 8 in
+      let counter = ref 0 in
+      (* profile mode keeps a prefix of each thread's iterations: a prefix
+         preserves the contiguity structure a strided subsample would break,
+         so sampled evaluations transfer to full runs *)
+      let limit = (totals.(thread) + sample - 1) / sample in
+      Parallelize.iter_thread plan ~thread (fun iter ->
+          let keep = !counter < limit in
+          incr counter;
+          if keep then
+            List.iter
+              (fun (file, layout, r) ->
+                let offset = File_layout.offset_of layout (Access.eval r iter) in
+                let index = offset / block_elems in
+                if Hashtbl.find_opt last_index file <> Some index then begin
+                  Hashtbl.replace last_index file index;
+                  acc := Block.make ~file ~index :: !acc;
+                  incr count
+                end)
+              refs);
+      let arr = Array.make !count (Block.make ~file:0 ~index:0) in
+      let rec fill i = function
+        | [] -> ()
+        | b :: rest ->
+          arr.(i) <- b;
+          fill (i - 1) rest
+      in
+      fill (!count - 1) !acc;
+      arr)
+
+let iterations_per_thread ~threads ~blocks_per_thread ?(sample = 1) nest =
+  let plan = plan_of ~threads ~blocks_per_thread nest in
+  let counts = Parallelize.iterations_per_thread plan in
+  Array.map (fun c -> (c + sample - 1) / sample) counts

@@ -1,0 +1,36 @@
+(** Per-thread block-request stream generation.
+
+    A thread's element accesses are translated through the chosen file
+    layouts into block requests; {e consecutive requests to the same block
+    collapse into one} — exactly the MPI-IO behaviour the paper relies on:
+    a thread reading elements stored contiguously issues one block-sized
+    request, a thread whose elements are scattered issues one request per
+    element.  This is where a layout's "block footprint" becomes request
+    traffic. *)
+
+open Flo_poly
+open Flo_storage
+open Flo_core
+
+val nest_streams :
+  layouts:(int -> File_layout.t) ->
+  block_elems:int ->
+  threads:int ->
+  blocks_per_thread:int ->
+  ?assign:Compmap.strategy ->
+  ?cluster:int ->
+  ?sample:int ->
+  Loop_nest.t ->
+  Block.t array array
+(** [nest_streams ... nest] is one collapsed block-request stream per
+    thread for a single execution of [nest] (weights are replayed by the
+    runner).  [assign] substitutes the computation-mapping baseline's
+    block-to-thread map ([cluster] = threads per layer-1 cache, required
+    with [assign]).  [sample > 1] keeps the first [1/sample] of each
+    thread's iterations (a prefix preserves contiguity) — profile mode.  The per-nest block count is capped by the nest's
+    parallel extent. *)
+
+val iterations_per_thread :
+  threads:int -> blocks_per_thread:int -> ?sample:int -> Loop_nest.t -> int array
+(** Element-iteration counts matching [nest_streams]'s enumeration (used to
+    charge CPU time). *)

@@ -1,0 +1,1 @@
+lib/linalg/gauss.ml: Array Fun Imat Ivec List Rat

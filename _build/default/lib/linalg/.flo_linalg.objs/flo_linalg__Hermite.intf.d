@@ -1,0 +1,1 @@
+lib/linalg/hermite.mli: Imat Ivec

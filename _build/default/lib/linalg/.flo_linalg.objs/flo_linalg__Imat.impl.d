@@ -1,0 +1,1 @@
+lib/linalg/imat.ml: Array Format Ivec List

@@ -1,0 +1,1 @@
+lib/linalg/imat.mli: Format Ivec

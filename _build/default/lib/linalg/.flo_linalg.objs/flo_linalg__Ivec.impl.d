@@ -1,0 +1,1 @@
+lib/linalg/ivec.ml: Array Format Rat

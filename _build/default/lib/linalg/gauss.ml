@@ -1,0 +1,111 @@
+(* Reduced row echelon form over Rat.t; all integer results are recovered by
+   clearing denominators and normalizing to primitive vectors. *)
+
+type rmat = Rat.t array array
+
+let to_rmat (m : Imat.t) : rmat = Array.map (Array.map Rat.of_int) m
+
+(* Returns (rref, pivot column of each pivot row). *)
+let rref (a : rmat) : rmat * int list =
+  let a = Array.map Array.copy a in
+  let rows = Array.length a in
+  let cols = if rows = 0 then 0 else Array.length a.(0) in
+  let pivots = ref [] in
+  let r = ref 0 in
+  for c = 0 to cols - 1 do
+    if !r < rows then begin
+      (* find a pivot in column c at or below row !r *)
+      let p = ref (-1) in
+      for i = !r to rows - 1 do
+        if !p < 0 && not (Rat.is_zero a.(i).(c)) then p := i
+      done;
+      if !p >= 0 then begin
+        let t = a.(!r) in
+        a.(!r) <- a.(!p);
+        a.(!p) <- t;
+        let inv = Rat.inv a.(!r).(c) in
+        a.(!r) <- Array.map (fun x -> Rat.mul inv x) a.(!r);
+        for i = 0 to rows - 1 do
+          if i <> !r && not (Rat.is_zero a.(i).(c)) then begin
+            let f = a.(i).(c) in
+            a.(i) <- Array.mapi (fun j x -> Rat.sub x (Rat.mul f a.(!r).(j))) a.(i)
+          end
+        done;
+        pivots := c :: !pivots;
+        incr r
+      end
+    end
+  done;
+  (a, List.rev !pivots)
+
+let rank m =
+  let _, pivots = rref (to_rmat m) in
+  List.length pivots
+
+let clear_denominators (v : Rat.t array) : Ivec.t =
+  let l = Array.fold_left (fun acc x -> Rat.lcm acc (Rat.den x)) 1 v in
+  Ivec.primitive
+    (Array.map (fun x -> Rat.num x * (l / Rat.den x)) v)
+
+let nullspace (m : Imat.t) : Ivec.t list =
+  let cols = Imat.cols m in
+  if cols = 0 then []
+  else begin
+    let a, pivots = rref (to_rmat m) in
+    let is_pivot = Array.make cols false in
+    let pivot_row = Array.make cols (-1) in
+    List.iteri
+      (fun r c ->
+        is_pivot.(c) <- true;
+        pivot_row.(c) <- r)
+      pivots;
+    let free = List.filter (fun c -> not is_pivot.(c)) (List.init cols Fun.id) in
+    let basis_for f =
+      let v = Array.make cols Rat.zero in
+      v.(f) <- Rat.one;
+      for c = 0 to cols - 1 do
+        if is_pivot.(c) then v.(c) <- Rat.neg a.(pivot_row.(c)).(f)
+      done;
+      clear_denominators v
+    in
+    List.map basis_for free
+  end
+
+let left_nullspace m = nullspace (Imat.transpose m)
+
+let solve (m : Imat.t) (b : Ivec.t) : Rat.t array option =
+  let rows = Imat.rows m and cols = Imat.cols m in
+  if Array.length b <> rows then invalid_arg "Gauss.solve: dimension mismatch";
+  let aug =
+    Array.init rows (fun i ->
+        Array.init (cols + 1) (fun j ->
+            Rat.of_int (if j < cols then Imat.get m i j else b.(i))))
+  in
+  let a, pivots = rref aug in
+  (* inconsistent iff the augmented column is a pivot *)
+  if List.mem cols pivots then None
+  else begin
+    let x = Array.make cols Rat.zero in
+    List.iteri
+      (fun r c -> x.(c) <- a.(r).(cols))
+      pivots;
+    Some x
+  end
+
+let inverse_unimodular (m : Imat.t) : Imat.t =
+  let n = Imat.rows m in
+  if not (Imat.is_unimodular m) then invalid_arg "Gauss.inverse_unimodular: not unimodular";
+  let aug =
+    Array.init n (fun i ->
+        Array.init (2 * n) (fun j ->
+            if j < n then Rat.of_int (Imat.get m i j)
+            else if j - n = i then Rat.one
+            else Rat.zero))
+  in
+  let a, _ = rref aug in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          let x = a.(i).(n + j) in
+          if not (Rat.is_integer x) then
+            invalid_arg "Gauss.inverse_unimodular: non-integral inverse";
+          Rat.to_int_exn x))

@@ -1,0 +1,22 @@
+(** Exact Gaussian elimination over the rationals with integer interfaces.
+
+    This is the "Integer Gaussian Elimination" engine the paper invokes to
+    solve the homogeneous systems [h_A . D . Q . E_u = 0] (Eqs. 3-4): results
+    are returned as primitive integer vectors (denominators cleared, entries
+    coprime). *)
+
+val rank : Imat.t -> int
+
+val nullspace : Imat.t -> Ivec.t list
+(** Basis of the right nullspace [{ x | M x = 0 }] as primitive integer
+    vectors.  Empty list when the kernel is trivial. *)
+
+val left_nullspace : Imat.t -> Ivec.t list
+(** Basis of [{ x | x M = 0 }] (row vectors), primitive. *)
+
+val solve : Imat.t -> Ivec.t -> Rat.t array option
+(** [solve m b] is a rational solution of [m x = b] if one exists. *)
+
+val inverse_unimodular : Imat.t -> Imat.t
+(** Exact inverse of a unimodular matrix (integral because [|det| = 1]).
+    @raise Invalid_argument if the matrix is not unimodular. *)

@@ -1,0 +1,90 @@
+let rec egcd a b =
+  if b = 0 then
+    if a >= 0 then (a, 1, 0) else (-a, -1, 0)
+  else
+    let g, s, t = egcd b (a mod b) in
+    (g, t, s - (a / b * t))
+
+(* Right-multiply columns (i, j) of [m] by the 2x2 unimodular matrix
+   [[c00 c01] [c10 c11]] (acting on the column pair). *)
+let col_op m i j c00 c10 c01 c11 =
+  Array.iter
+    (fun r ->
+      let vi = r.(i) and vj = r.(j) in
+      r.(i) <- (c00 * vi) + (c10 * vj);
+      r.(j) <- (c01 * vi) + (c11 * vj))
+    m
+
+let row_to_e1 d =
+  let n = Ivec.dim d in
+  if Ivec.is_zero d then invalid_arg "Hermite.row_to_e1: zero vector";
+  if Ivec.gcd d <> 1 then invalid_arg "Hermite.row_to_e1: not primitive";
+  let u = Imat.identity n in
+  let w = Array.copy d in
+  let wm = [| w |] in
+  for j = 1 to n - 1 do
+    if w.(j) <> 0 then begin
+      let a = w.(0) and b = w.(j) in
+      let g, s, t = egcd a b in
+      (* det of [[s, -b/g], [t, a/g]] is (s*a + t*b)/g = 1 *)
+      col_op u 0 j s t (-b / g) (a / g);
+      col_op wm 0 j s t (-b / g) (a / g)
+    end
+  done;
+  (* the gcd chain may leave -1 when the leading entry was negative *)
+  if w.(0) < 0 then begin
+    Array.iter (fun r -> r.(0) <- -r.(0)) u;
+    w.(0) <- -w.(0)
+  end;
+  assert (w.(0) = 1 && Array.for_all (fun x -> x = 0) (Array.sub w 1 (n - 1)));
+  u
+
+let complete_to_unimodular ?(row = 0) d =
+  let n = Ivec.dim d in
+  if row < 0 || row >= n then invalid_arg "Hermite.complete_to_unimodular: bad row";
+  let u = row_to_e1 d in
+  let m = Gauss.inverse_unimodular u in
+  (* first row of U^-1 is d since d.U = e1; move it to the requested slot *)
+  if row = 0 then m else Imat.swap_rows m 0 row
+
+let hermite_normal_form m =
+  let rows = Imat.rows m and cols = Imat.cols m in
+  let h = Imat.copy m in
+  let u = Imat.copy (Imat.identity cols) in
+  let pivot_col = ref 0 in
+  for i = 0 to rows - 1 do
+    if !pivot_col < cols then begin
+      (* zero out everything right of the pivot column in row i *)
+      for j = !pivot_col + 1 to cols - 1 do
+        if h.(i).(j) <> 0 then begin
+          let a = h.(i).(!pivot_col) and b = h.(i).(j) in
+          let g, s, t = egcd a b in
+          col_op h !pivot_col j s t (-b / g) (a / g);
+          col_op u !pivot_col j s t (-b / g) (a / g)
+        end
+      done;
+      if h.(i).(!pivot_col) <> 0 then begin
+        (* make the pivot positive *)
+        if h.(i).(!pivot_col) < 0 then begin
+          col_op h !pivot_col !pivot_col (-1) 0 0 1;
+          col_op u !pivot_col !pivot_col (-1) 0 0 1
+        end;
+        (* reduce entries left of the pivot modulo the pivot *)
+        for j = 0 to !pivot_col - 1 do
+          let q =
+            let p = h.(i).(!pivot_col) in
+            let x = h.(i).(j) in
+            (* floor division so remainders land in [0, p) *)
+            if x >= 0 then x / p else -((-x + p - 1) / p)
+          in
+          (* col_j := col_j - q * col_pivot *)
+          if q <> 0 then begin
+            col_op h j !pivot_col 1 (-q) 0 1;
+            col_op u j !pivot_col 1 (-q) 0 1
+          end
+        done;
+        incr pivot_col
+      end
+    end
+  done;
+  (h, u)

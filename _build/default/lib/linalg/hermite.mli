@@ -1,0 +1,27 @@
+(** Extended-gcd machinery and unimodular completion.
+
+    The paper's Step I produces one primitive row vector [d] (the data
+    hyperplane normal pulled back through the transformation); the full data
+    transformation [D] is any unimodular matrix having [d] as a designated
+    row.  [complete_to_unimodular] builds it via extended-gcd column
+    operations (the core of Hermite normalization). *)
+
+val egcd : int -> int -> int * int * int
+(** [egcd a b = (g, s, t)] with [s*a + t*b = g] and [g = gcd a b >= 0]. *)
+
+val row_to_e1 : Ivec.t -> Imat.t
+(** [row_to_e1 d] for primitive [d] returns a unimodular [U] such that
+    [d . U = e_1] (the first unit row vector).
+    @raise Invalid_argument if [d] is zero or not primitive. *)
+
+val complete_to_unimodular : ?row:int -> Ivec.t -> Imat.t
+(** [complete_to_unimodular ~row d] is a unimodular matrix whose [row]-th
+    (default 0) row equals the primitive vector [d].
+    @raise Invalid_argument if [d] is zero or not primitive, or [row] is out
+    of range. *)
+
+val hermite_normal_form : Imat.t -> Imat.t * Imat.t
+(** [hermite_normal_form m = (h, u)] with [u] unimodular, [h = m . u] in
+    column-style Hermite normal form (lower triangular, pivots positive,
+    entries right of a pivot zero).  Used for testing and for diagnosing
+    degenerate access matrices. *)

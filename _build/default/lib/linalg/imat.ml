@@ -1,0 +1,148 @@
+type t = int array array
+
+let make rows cols v = Array.make_matrix rows cols v
+
+let identity n =
+  Array.init n (fun i -> Array.init n (fun j -> if i = j then 1 else 0))
+
+let of_rows rows =
+  match rows with
+  | [] -> [||]
+  | first :: _ ->
+    let cols = List.length first in
+    if not (List.for_all (fun r -> List.length r = cols) rows) then
+      invalid_arg "Imat.of_rows: ragged rows";
+    Array.of_list (List.map Array.of_list rows)
+
+let rows m = Array.length m
+let cols m = if Array.length m = 0 then 0 else Array.length m.(0)
+let get m i j = m.(i).(j)
+let row m i = Array.copy m.(i)
+let col m j = Array.init (rows m) (fun i -> m.(i).(j))
+let copy m = Array.map Array.copy m
+let equal a b = a = b
+
+let transpose m = Array.init (cols m) (fun j -> col m j)
+
+let mul a b =
+  if cols a <> rows b then invalid_arg "Imat.mul: dimension mismatch";
+  Array.init (rows a) (fun i ->
+      Array.init (cols b) (fun j ->
+          let s = ref 0 in
+          for k = 0 to cols a - 1 do
+            s := !s + (a.(i).(k) * b.(k).(j))
+          done;
+          !s))
+
+let mul_vec m v =
+  if cols m <> Array.length v then invalid_arg "Imat.mul_vec: dimension mismatch";
+  Array.map (fun r -> Ivec.dot r v) m
+
+let vec_mul v m =
+  if Array.length v <> rows m then invalid_arg "Imat.vec_mul: dimension mismatch";
+  Array.init (cols m) (fun j -> Ivec.dot v (col m j))
+
+let map2 f a b =
+  if rows a <> rows b || cols a <> cols b then invalid_arg "Imat: shape mismatch";
+  Array.init (rows a) (fun i -> Array.init (cols a) (fun j -> f a.(i).(j) b.(i).(j)))
+
+let add = map2 ( + )
+let neg = Array.map Ivec.neg
+let scale k = Array.map (Ivec.scale k)
+
+let delete_row m i =
+  if i < 0 || i >= rows m then invalid_arg "Imat.delete_row";
+  Array.init (rows m - 1) (fun r -> Array.copy m.(if r < i then r else r + 1))
+
+let delete_col m j =
+  if j < 0 || j >= cols m then invalid_arg "Imat.delete_col";
+  Array.map
+    (fun r -> Array.init (Array.length r - 1) (fun c -> r.(if c < j then c else c + 1)))
+    m
+
+let append_cols a b =
+  if rows a <> rows b then invalid_arg "Imat.append_cols: row mismatch";
+  Array.init (rows a) (fun i -> Array.append a.(i) b.(i))
+
+let swap_rows m i j =
+  let m = copy m in
+  let t = m.(i) in
+  m.(i) <- m.(j);
+  m.(j) <- t;
+  m
+
+let swap_cols m i j =
+  Array.map
+    (fun r ->
+      let r = Array.copy r in
+      let t = r.(i) in
+      r.(i) <- r.(j);
+      r.(j) <- t;
+      r)
+    m
+
+(* Bareiss fraction-free elimination keeps all intermediates integral. *)
+let det m =
+  let n = rows m in
+  if n <> cols m then invalid_arg "Imat.det: not square";
+  if n = 0 then 1
+  else begin
+    let a = Array.map Array.copy m in
+    let sign = ref 1 in
+    let prev = ref 1 in
+    let ok = ref true in
+    (try
+       for k = 0 to n - 2 do
+         if a.(k).(k) = 0 then begin
+           (* find pivot row below *)
+           let p = ref (-1) in
+           for i = k + 1 to n - 1 do
+             if !p < 0 && a.(i).(k) <> 0 then p := i
+           done;
+           if !p < 0 then begin
+             ok := false;
+             raise Exit
+           end;
+           let t = a.(k) in
+           a.(k) <- a.(!p);
+           a.(!p) <- t;
+           sign := - !sign
+         end;
+         for i = k + 1 to n - 1 do
+           for j = k + 1 to n - 1 do
+             a.(i).(j) <- ((a.(i).(j) * a.(k).(k)) - (a.(i).(k) * a.(k).(j))) / !prev
+           done;
+           a.(i).(k) <- 0
+         done;
+         prev := a.(k).(k)
+       done
+     with Exit -> ());
+    if not !ok then 0 else !sign * a.(n - 1).(n - 1)
+  end
+
+let is_unimodular m = rows m = cols m && abs (det m) = 1
+
+let permutation p =
+  let n = List.length p in
+  let seen = Array.make n false in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= n || seen.(i) then invalid_arg "Imat.permutation";
+      seen.(i) <- true)
+    p;
+  let m = make n n 0 in
+  List.iteri (fun i pi -> m.(i).(pi) <- 1) p;
+  m
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i r ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+           Format.pp_print_int)
+        (Array.to_list r))
+    m;
+  Format.fprintf ppf "@]"

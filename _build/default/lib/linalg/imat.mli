@@ -1,0 +1,60 @@
+(** Dense integer matrices.
+
+    Row-major [int array array]; immutable by convention.  Used for access
+    matrices [Q] and unimodular data transformations [D]. *)
+
+type t = int array array
+
+val make : int -> int -> int -> t
+(** [make rows cols v] fills with [v]. *)
+
+val identity : int -> t
+val of_rows : int list list -> t
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> int
+val row : t -> int -> Ivec.t
+val col : t -> int -> Ivec.t
+val transpose : t -> t
+val copy : t -> t
+val equal : t -> t -> bool
+
+val mul : t -> t -> t
+(** @raise Invalid_argument on inner-dimension mismatch. *)
+
+val mul_vec : t -> Ivec.t -> Ivec.t
+(** Matrix-vector product. *)
+
+val vec_mul : Ivec.t -> t -> Ivec.t
+(** Row-vector-matrix product. *)
+
+val add : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+
+val delete_row : t -> int -> t
+(** 0-based row removal. *)
+
+val delete_col : t -> int -> t
+(** 0-based column removal; this builds the paper's [E_u] from an identity. *)
+
+val append_cols : t -> t -> t
+(** Horizontal concatenation; row counts must match. *)
+
+val swap_rows : t -> int -> int -> t
+val swap_cols : t -> int -> int -> t
+
+val det : t -> int
+(** Determinant by fraction-free (Bareiss) elimination.
+    @raise Invalid_argument if the matrix is not square. *)
+
+val is_unimodular : t -> bool
+(** Square with determinant +/-1. *)
+
+val permutation : int list -> t
+(** [permutation p] for [p] a permutation of [0..n-1] is the matrix [M] with
+    [M.(i).(p_i) = 1], i.e. [mul_vec M a] picks coordinate [p_i] of [a] into
+    slot [i].  @raise Invalid_argument if [p] is not a permutation. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+type t = int array
+
+let make n v = Array.make n v
+let zero n = Array.make n 0
+let of_list = Array.of_list
+let to_list = Array.to_list
+let dim = Array.length
+let get v i = v.(i)
+
+let unit n k =
+  if k < 0 || k >= n then invalid_arg "Ivec.unit";
+  let v = Array.make n 0 in
+  v.(k) <- 1;
+  v
+
+let map2 f a b =
+  if Array.length a <> Array.length b then invalid_arg "Ivec: dimension mismatch";
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let add = map2 ( + )
+let sub = map2 ( - )
+let neg = Array.map (fun x -> -x)
+let scale k = Array.map (fun x -> k * x)
+
+let dot a b =
+  if Array.length a <> Array.length b then invalid_arg "Ivec.dot: dimension mismatch";
+  let s = ref 0 in
+  Array.iteri (fun i x -> s := !s + (x * b.(i))) a;
+  !s
+
+let equal a b = a = b
+
+let is_zero = Array.for_all (fun x -> x = 0)
+
+let gcd v = Array.fold_left (fun g x -> Rat.gcd g x) 0 v
+
+let primitive v =
+  let g = gcd v in
+  if g = 0 then v
+  else
+    let v = Array.map (fun x -> x / g) v in
+    let sign =
+      let rec first i =
+        if i >= Array.length v then 1
+        else if v.(i) <> 0 then compare v.(i) 0
+        else first (i + 1)
+      in
+      first 0
+    in
+    if sign < 0 then neg v else v
+
+let lex_compare a b =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i =
+    if i >= n then compare (Array.length a) (Array.length b)
+    else
+      let c = compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let pp ppf v =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Format.pp_print_int)
+    (Array.to_list v)

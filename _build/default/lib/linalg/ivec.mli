@@ -1,0 +1,38 @@
+(** Dense integer vectors.
+
+    Thin immutable-by-convention wrapper over [int array] used for iteration
+    vectors, data (index) vectors, hyperplane normals and offset vectors.  All
+    operations allocate fresh arrays; callers must not mutate results. *)
+
+type t = int array
+
+val make : int -> int -> t
+(** [make n v] is the [n]-vector with every entry [v]. *)
+
+val zero : int -> t
+val of_list : int list -> t
+val to_list : t -> int list
+val dim : t -> int
+val get : t -> int -> int
+
+val unit : int -> int -> t
+(** [unit n k] is the [n]-dimensional unit vector with 1 at 0-based index [k].
+    @raise Invalid_argument if [k] is out of range. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+val dot : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val gcd : t -> int
+(** Non-negative gcd of all entries; 0 for the zero vector. *)
+
+val primitive : t -> t
+(** Divide by {!gcd} so entries are coprime; first nonzero entry made
+    positive.  The zero vector maps to itself. *)
+
+val lex_compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

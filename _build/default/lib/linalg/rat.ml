@@ -1,0 +1,78 @@
+type t = { num : int; den : int }
+
+let rec gcd_pos a b = if b = 0 then a else gcd_pos b (a mod b)
+
+let gcd a b = gcd_pos (abs a) (abs b)
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (a / gcd a b * b)
+
+let make num den =
+  if den = 0 then raise Division_by_zero;
+  let s = if den < 0 then -1 else 1 in
+  let num = s * num and den = s * den in
+  let g = gcd num den in
+  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let num t = t.num
+let den t = t.den
+
+(* Entries in this domain stay minuscule; a cheap overflow guard catches
+   misuse during development without the cost of arbitrary precision. *)
+let checked_mul a b =
+  let p = a * b in
+  assert (a = 0 || (p / a = b && abs a < max_int / 2));
+  p
+
+let add a b =
+  make ((checked_mul a.num b.den) + (checked_mul b.num a.den)) (checked_mul a.den b.den)
+
+let neg a = { a with num = -a.num }
+
+let sub a b = add a (neg b)
+
+let mul a b = make (checked_mul a.num b.num) (checked_mul a.den b.den)
+
+let inv a =
+  if a.num = 0 then raise Division_by_zero;
+  make a.den a.num
+
+let div a b = mul a (inv b)
+
+let abs a = { a with num = Stdlib.abs a.num }
+
+let sign a = compare a.num 0
+
+let compare a b = Stdlib.compare (checked_mul a.num b.den) (checked_mul b.num a.den)
+
+let equal a b = a.num = b.num && a.den = b.den
+
+let is_zero a = a.num = 0
+
+let is_integer a = a.den = 1
+
+let to_int_exn a =
+  if a.den <> 1 then invalid_arg "Rat.to_int_exn: not an integer";
+  a.num
+
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let floor a =
+  if a.num >= 0 then a.num / a.den
+  else -((- a.num + a.den - 1) / a.den)
+
+let ceil a = - (floor (neg a))
+
+let pp ppf a =
+  if a.den = 1 then Format.fprintf ppf "%d" a.num
+  else Format.fprintf ppf "%d/%d" a.num a.den
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,60 @@
+(** Exact rational arithmetic on native integers.
+
+    Values are kept in canonical form: the denominator is strictly positive and
+    [gcd (abs num) den = 1].  Matrix entries arising in affine loop analysis are
+    tiny, so native [int] precision is ample; arithmetic that would overflow is
+    detected by assertion in debug builds. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den] is the canonical rational [num/den].
+    @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero on division by {!zero}. *)
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on {!zero}. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+
+val to_int_exn : t -> int
+(** @raise Invalid_argument if the value is not an integer. *)
+
+val to_float : t -> float
+val min : t -> t -> t
+val max : t -> t -> t
+
+val floor : t -> int
+(** Largest integer [<=] the value. *)
+
+val ceil : t -> int
+(** Smallest integer [>=] the value. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val gcd : int -> int -> int
+(** [gcd a b] is the non-negative greatest common divisor; [gcd 0 0 = 0]. *)
+
+val lcm : int -> int -> int
+(** Least common multiple, non-negative. *)

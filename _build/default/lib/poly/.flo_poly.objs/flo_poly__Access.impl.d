@@ -1,0 +1,1 @@
+lib/poly/access.ml: Affine Flo_linalg Format Imat Ivec

@@ -1,0 +1,1 @@
+lib/poly/access.mli: Affine Flo_linalg Format Imat Ivec

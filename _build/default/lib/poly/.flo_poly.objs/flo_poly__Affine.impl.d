@@ -1,0 +1,1 @@
+lib/poly/affine.ml: Flo_linalg Format Imat Ivec

@@ -1,0 +1,1 @@
+lib/poly/affine.mli: Flo_linalg Format Imat Ivec

@@ -1,0 +1,1 @@
+lib/poly/data_space.ml: Array Format

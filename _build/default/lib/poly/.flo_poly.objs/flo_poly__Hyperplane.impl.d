@@ -1,0 +1,1 @@
+lib/poly/hyperplane.ml: Flo_linalg Format Ivec

@@ -1,0 +1,1 @@
+lib/poly/hyperplane.mli: Flo_linalg Format Ivec

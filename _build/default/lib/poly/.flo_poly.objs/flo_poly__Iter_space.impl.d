@@ -1,0 +1,1 @@
+lib/poly/iter_space.ml: Array Format

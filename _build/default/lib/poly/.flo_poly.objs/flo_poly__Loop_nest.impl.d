@@ -1,0 +1,1 @@
+lib/poly/loop_nest.ml: Access Format Iter_space List

@@ -1,0 +1,1 @@
+lib/poly/loop_nest.mli: Access Format Iter_space

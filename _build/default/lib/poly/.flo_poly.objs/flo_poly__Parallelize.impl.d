@@ -1,0 +1,1 @@
+lib/poly/parallelize.ml: Array Fun Iter_space List Loop_nest

@@ -1,0 +1,1 @@
+lib/poly/parallelize.mli: Flo_linalg Loop_nest

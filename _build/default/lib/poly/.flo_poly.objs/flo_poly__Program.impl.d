@@ -1,0 +1,1 @@
+lib/poly/program.ml: Access Data_space Format List Loop_nest

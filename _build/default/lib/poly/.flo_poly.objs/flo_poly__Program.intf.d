@@ -1,0 +1,1 @@
+lib/poly/program.mli: Access Data_space Format Loop_nest

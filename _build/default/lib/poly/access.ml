@@ -1,0 +1,29 @@
+open Flo_linalg
+
+type t = { array_id : int; map : Affine.t }
+
+let make ~array_id mat off = { array_id; map = Affine.make mat off }
+
+let of_rows ~array_id rows off =
+  make ~array_id (Imat.of_rows rows) (Ivec.of_list off)
+
+let array_id t = t.array_id
+let matrix t = t.map.Affine.mat
+let offset t = t.map.Affine.off
+let eval t i = Affine.apply t.map i
+let rank t = Affine.out_dim t.map
+let depth t = Affine.in_dim t.map
+
+let transform d t =
+  { t with map = Affine.compose (Affine.make d (Ivec.zero (Imat.rows d))) t.map }
+
+let same_matrix a b = Imat.equal (matrix a) (matrix b)
+
+let equal a b = a.array_id = b.array_id && Affine.equal a.map b.map
+
+let pp ppf t =
+  Format.fprintf ppf "@[ref(array %d):@ %a@]" t.array_id Affine.pp t.map
+
+let ij ~array_id = of_rows ~array_id [ [ 1; 0 ]; [ 0; 1 ] ] [ 0; 0 ]
+let ji ~array_id = of_rows ~array_id [ [ 0; 1 ]; [ 1; 0 ] ] [ 0; 0 ]
+let diag ~array_id = of_rows ~array_id [ [ 1; 1 ]; [ 0; 1 ] ] [ 0; 0 ]

@@ -1,0 +1,43 @@
+(** Array references: affine maps from iteration space to data space.
+
+    A reference [a = Q i + q] is the paper's basic object of analysis; [Q] is
+    the [m x n] access matrix and [q] the offset vector. *)
+
+open Flo_linalg
+
+type t = { array_id : int; map : Affine.t }
+
+val make : array_id:int -> Imat.t -> Ivec.t -> t
+val of_rows : array_id:int -> int list list -> int list -> t
+(** Convenience: access matrix given as row lists plus offset list. *)
+
+val array_id : t -> int
+val matrix : t -> Imat.t
+val offset : t -> Ivec.t
+val eval : t -> Ivec.t -> Ivec.t
+(** Data vector touched by an iteration vector. *)
+
+val rank : t -> int
+(** Array rank [m] (output dimension). *)
+
+val depth : t -> int
+(** Loop depth [n] (input dimension). *)
+
+val transform : Imat.t -> t -> t
+(** [transform d r] is the reference after the unimodular data transformation
+    [D]: [r' = D r], i.e. matrix [D.Q] and offset [D.q] (Section 4.1). *)
+
+val same_matrix : t -> t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Common constructors for 2-deep nests over 2-D arrays. *)
+
+val ij : array_id:int -> t
+(** [A\[i, j\]] under iterators [(i, j)]. *)
+
+val ji : array_id:int -> t
+(** [A\[j, i\]] — the transposed (column-wise) access. *)
+
+val diag : array_id:int -> t
+(** [A\[i + j, j\]] — a sheared (wavefront) access. *)

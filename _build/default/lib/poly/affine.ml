@@ -1,0 +1,22 @@
+open Flo_linalg
+
+type t = { mat : Imat.t; off : Ivec.t }
+
+let make mat off =
+  if Imat.rows mat <> Ivec.dim off then invalid_arg "Affine.make: offset dimension mismatch";
+  { mat; off }
+
+let identity n = { mat = Imat.identity n; off = Ivec.zero n }
+
+let apply t x = Ivec.add (Imat.mul_vec t.mat x) t.off
+
+let compose f g =
+  { mat = Imat.mul f.mat g.mat; off = Ivec.add (Imat.mul_vec f.mat g.off) f.off }
+
+let in_dim t = Imat.cols t.mat
+let out_dim t = Imat.rows t.mat
+
+let equal a b = Imat.equal a.mat b.mat && Ivec.equal a.off b.off
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@,+ %a@]" Imat.pp t.mat Ivec.pp t.off

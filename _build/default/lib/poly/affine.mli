@@ -1,0 +1,19 @@
+(** Integer affine maps [x -> M x + c] between index spaces. *)
+
+open Flo_linalg
+
+type t = { mat : Imat.t; off : Ivec.t }
+
+val make : Imat.t -> Ivec.t -> t
+(** @raise Invalid_argument if [off] length differs from the row count. *)
+
+val identity : int -> t
+val apply : t -> Ivec.t -> Ivec.t
+
+val compose : t -> t -> t
+(** [compose f g] is [x -> f (g x)]. *)
+
+val in_dim : t -> int
+val out_dim : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+type t = { extents : int array }
+
+let make extents =
+  if Array.length extents = 0 then invalid_arg "Data_space.make: empty";
+  Array.iter (fun n -> if n <= 0 then invalid_arg "Data_space.make: nonpositive extent") extents;
+  { extents = Array.copy extents }
+
+let rank t = Array.length t.extents
+let extents t = Array.copy t.extents
+let extent t k = t.extents.(k)
+let cardinal t = Array.fold_left ( * ) 1 t.extents
+
+let mem t v =
+  Array.length v = rank t
+  && begin
+       let ok = ref true in
+       Array.iteri (fun k x -> if x < 0 || x >= t.extents.(k) then ok := false) v;
+       !ok
+     end
+
+let check t v =
+  if not (mem t v) then invalid_arg "Data_space: index out of range"
+
+let row_major_index t v =
+  check t v;
+  let idx = ref 0 in
+  for k = 0 to rank t - 1 do
+    idx := (!idx * t.extents.(k)) + v.(k)
+  done;
+  !idx
+
+let col_major_index t v =
+  check t v;
+  let idx = ref 0 in
+  for k = rank t - 1 downto 0 do
+    idx := (!idx * t.extents.(k)) + v.(k)
+  done;
+  !idx
+
+let of_row_major t i =
+  if i < 0 || i >= cardinal t then invalid_arg "Data_space.of_row_major";
+  let m = rank t in
+  let v = Array.make m 0 in
+  let rem = ref i in
+  for k = m - 1 downto 0 do
+    v.(k) <- !rem mod t.extents.(k);
+    rem := !rem / t.extents.(k)
+  done;
+  v
+
+let iter t f =
+  let n = rank t in
+  let v = Array.make n 0 in
+  let rec go k =
+    if k = n then f v
+    else
+      for x = 0 to t.extents.(k) - 1 do
+        v.(k) <- x;
+        go (k + 1)
+      done
+  in
+  go 0
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "x") Format.pp_print_int)
+    (Array.to_list t.extents)

@@ -1,0 +1,30 @@
+(** Data spaces of disk-resident arrays.
+
+    An [m]-dimensional array declared with extents [(N_1, ..., N_m)] has the
+    data space [0 <= a_k < N_k].  Also provides the canonical row-major /
+    column-major linearizations that serve as default file layouts. *)
+
+type t
+
+val make : int array -> t
+(** [make extents] — all extents must be positive. *)
+
+val rank : t -> int
+val extents : t -> int array
+val extent : t -> int -> int
+val cardinal : t -> int
+val mem : t -> Flo_linalg.Ivec.t -> bool
+
+val row_major_index : t -> Flo_linalg.Ivec.t -> int
+(** Last dimension fastest.  @raise Invalid_argument if out of range. *)
+
+val col_major_index : t -> Flo_linalg.Ivec.t -> int
+(** First dimension fastest. *)
+
+val of_row_major : t -> int -> Flo_linalg.Ivec.t
+(** Inverse of {!row_major_index}. *)
+
+val iter : t -> (Flo_linalg.Ivec.t -> unit) -> unit
+(** Row-major enumeration; callback vector is reused. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+open Flo_linalg
+
+type t = { normal : Ivec.t; constant : int }
+
+let make normal constant =
+  if Ivec.is_zero normal then invalid_arg "Hyperplane.make: zero normal";
+  let g = Ivec.gcd normal in
+  if g > 1 && constant mod g = 0 then
+    { normal = Ivec.primitive normal; constant = constant / g }
+  else { normal; constant }
+
+let family v =
+  if Ivec.is_zero v then invalid_arg "Hyperplane.family: zero vector";
+  Ivec.primitive v
+
+let axis n k = { normal = Ivec.unit n k; constant = 0 }
+
+let contains t p = Ivec.dot t.normal p = t.constant
+
+let same_family a b = Ivec.equal (family a.normal) (family b.normal)
+
+let member_through g p = { normal = g; constant = Ivec.dot g p }
+
+let pp ppf t = Format.fprintf ppf "%a . x = %d" Ivec.pp t.normal t.constant

@@ -1,0 +1,29 @@
+(** Hyperplane families [g . x = c] over iteration or data spaces.
+
+    A family is identified by its (primitive) normal vector [g]; members
+    differ only in the constant [c] (paper, Section 3). *)
+
+open Flo_linalg
+
+type t = { normal : Ivec.t; constant : int }
+
+val make : Ivec.t -> int -> t
+(** Normalizes the normal vector to primitive form, scaling the constant
+    when the gcd divides it; otherwise keeps the raw pair.
+    @raise Invalid_argument on a zero normal. *)
+
+val family : Ivec.t -> Ivec.t
+(** The primitive normal identifying the family of a (nonzero) vector. *)
+
+val axis : int -> int -> t
+(** [axis n k] is the hyperplane [x_k = 0] in dimension [n] — the iteration
+    hyperplane vector [h_I] / data hyperplane vector [h_A] of the paper. *)
+
+val contains : t -> Ivec.t -> bool
+val same_family : t -> t -> bool
+
+val member_through : Ivec.t -> Ivec.t -> t
+(** [member_through g p] is the member of family [g] passing through point
+    [p]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+type t = { bounds : (int * int) array }
+
+let make bounds =
+  if Array.length bounds = 0 then invalid_arg "Iter_space.make: empty";
+  Array.iter (fun (lo, hi) -> if lo > hi then invalid_arg "Iter_space.make: lo > hi") bounds;
+  { bounds = Array.copy bounds }
+
+let depth t = Array.length t.bounds
+let bounds t = Array.copy t.bounds
+let lo t k = fst t.bounds.(k)
+let hi t k = snd t.bounds.(k)
+let extent t k = snd t.bounds.(k) - fst t.bounds.(k) + 1
+
+let cardinal t =
+  Array.fold_left (fun acc (lo, hi) -> acc * (hi - lo + 1)) 1 t.bounds
+
+let mem t v =
+  if Array.length v <> depth t then false
+  else begin
+    let ok = ref true in
+    Array.iteri
+      (fun k x ->
+        let lo, hi = t.bounds.(k) in
+        if x < lo || x > hi then ok := false)
+      v;
+    !ok
+  end
+
+let iter_box bounds f =
+  let n = Array.length bounds in
+  let v = Array.map fst bounds in
+  let rec go k =
+    if k = n then f v
+    else begin
+      let lo, hi = bounds.(k) in
+      for x = lo to hi do
+        v.(k) <- x;
+        go (k + 1)
+      done
+    end
+  in
+  go 0
+
+let iter t f = iter_box t.bounds f
+
+let iter_slice t ~dim ~lo ~hi f =
+  let b = Array.copy t.bounds in
+  let blo, bhi = b.(dim) in
+  let lo = max lo blo and hi = min hi bhi in
+  if lo <= hi then begin
+    b.(dim) <- (lo, hi);
+    iter_box b f
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " x ")
+       (fun ppf (lo, hi) -> Format.fprintf ppf "[%d..%d]" lo hi))
+    (Array.to_list t.bounds)

@@ -1,0 +1,36 @@
+(** Rectangular iteration spaces.
+
+    An [n]-level loop nest with loop-invariant bounds is the box
+    [lo_k <= i_k <= hi_k].  The paper's polyhedral model admits general affine
+    bounds; every workload in the suite (and the paper's own examples) uses
+    rectangular nests, so the box form is represented exactly and general
+    polyhedra are out of scope (see DESIGN.md). *)
+
+type t
+
+val make : (int * int) array -> t
+(** [make bounds] with inclusive [(lo, hi)] per level, outermost first.
+    @raise Invalid_argument if any [lo > hi] or the array is empty. *)
+
+val depth : t -> int
+val bounds : t -> (int * int) array
+val lo : t -> int -> int
+val hi : t -> int -> int
+
+val extent : t -> int -> int
+(** Number of iterations of level [k]. *)
+
+val cardinal : t -> int
+(** Total number of iterations. *)
+
+val mem : t -> Flo_linalg.Ivec.t -> bool
+
+val iter : t -> (Flo_linalg.Ivec.t -> unit) -> unit
+(** Enumerate all iteration vectors in lexicographic order.  The vector passed
+    to the callback is reused between calls; copy it if retained. *)
+
+val iter_slice : t -> dim:int -> lo:int -> hi:int -> (Flo_linalg.Ivec.t -> unit) -> unit
+(** Enumerate the sub-box where level [dim] is restricted to [lo..hi]
+    (clamped to the space's own bounds; empty if the clamp is void). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+type t = {
+  name : string;
+  space : Iter_space.t;
+  refs : Access.t list;
+  parallel_dim : int;
+  weight : int;
+}
+
+let make ?(name = "nest") ?(weight = 1) ~parallel_dim space refs =
+  let depth = Iter_space.depth space in
+  if parallel_dim < 0 || parallel_dim >= depth then
+    invalid_arg "Loop_nest.make: parallel_dim out of range";
+  if weight < 1 then invalid_arg "Loop_nest.make: weight < 1";
+  if refs = [] then invalid_arg "Loop_nest.make: no references";
+  List.iter
+    (fun r ->
+      if Access.depth r <> depth then
+        invalid_arg "Loop_nest.make: reference depth mismatch")
+    refs;
+  { name; space; refs; parallel_dim; weight }
+
+let depth t = Iter_space.depth t.space
+
+let trip_count t = Iter_space.cardinal t.space * t.weight
+
+let refs_to t id = List.filter (fun r -> Access.array_id r = id) t.refs
+
+let arrays_touched t =
+  List.sort_uniq compare (List.map Access.array_id t.refs)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>nest %s: space %a, parallel dim %d, weight %d@,%a@]"
+    t.name Iter_space.pp t.space t.parallel_dim t.weight
+    (Format.pp_print_list Access.pp)
+    t.refs

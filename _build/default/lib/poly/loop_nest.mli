@@ -1,0 +1,32 @@
+(** Loop nests: an iteration space, the references executed in its body, and
+    the parallelization directive.
+
+    [parallel_dim] is the paper's user-specified [u]: the loop whose index
+    space is cut by the iteration hyperplanes.  [weight] scales the nest's
+    contribution to reference weights (e.g. an outer timestep loop that we do
+    not represent explicitly). *)
+
+type t = {
+  name : string;
+  space : Iter_space.t;
+  refs : Access.t list;
+  parallel_dim : int;
+  weight : int;
+}
+
+val make :
+  ?name:string -> ?weight:int -> parallel_dim:int -> Iter_space.t -> Access.t list -> t
+(** @raise Invalid_argument if [parallel_dim] is out of range, [weight < 1],
+    any reference's depth differs from the space's, or [refs] is empty. *)
+
+val depth : t -> int
+val trip_count : t -> int
+(** Total iterations, times [weight]. *)
+
+val refs_to : t -> int -> Access.t list
+(** References to a given array id. *)
+
+val arrays_touched : t -> int list
+(** Sorted, deduplicated array ids. *)
+
+val pp : Format.formatter -> t -> unit

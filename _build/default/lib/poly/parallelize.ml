@@ -1,0 +1,66 @@
+type t = {
+  nest : Loop_nest.t;
+  threads : int;
+  num_blocks : int;
+  assign : int -> int;
+}
+
+let check_basics ~threads ~num_blocks nest =
+  if threads < 1 then invalid_arg "Parallelize: threads < 1";
+  if num_blocks < 1 then invalid_arg "Parallelize: num_blocks < 1";
+  let u = nest.Loop_nest.parallel_dim in
+  let ext = Iter_space.extent nest.Loop_nest.space u in
+  if num_blocks > ext then invalid_arg "Parallelize: more blocks than parallel iterations"
+
+let round_robin ~threads ?(blocks_per_thread = 1) nest =
+  if blocks_per_thread < 1 then invalid_arg "Parallelize: blocks_per_thread < 1";
+  let num_blocks = threads * blocks_per_thread in
+  check_basics ~threads ~num_blocks nest;
+  { nest; threads; num_blocks; assign = (fun b -> b mod threads) }
+
+let custom ~threads ~num_blocks ~assign nest =
+  check_basics ~threads ~num_blocks nest;
+  { nest; threads; num_blocks; assign }
+
+(* Even partition: each block spans ceil(extent / num_blocks) indices, the
+   last block takes the remainder (paper: "the last block may have a smaller
+   number of iterations"). *)
+let block_range t b =
+  if b < 0 || b >= t.num_blocks then invalid_arg "Parallelize.block_range";
+  let u = t.nest.Loop_nest.parallel_dim in
+  let space = t.nest.Loop_nest.space in
+  let lo0 = Iter_space.lo space u in
+  let ext = Iter_space.extent space u in
+  let size = (ext + t.num_blocks - 1) / t.num_blocks in
+  let lo = lo0 + (b * size) in
+  let hi = min (lo + size - 1) (lo0 + ext - 1) in
+  (lo, hi)
+
+let owner t b =
+  let o = t.assign b in
+  if o < 0 || o >= t.threads then invalid_arg "Parallelize: assign out of range";
+  o
+
+let blocks_of_thread t thread =
+  List.filter (fun b -> owner t b = thread) (List.init t.num_blocks Fun.id)
+
+let iter_thread t ~thread f =
+  let u = t.nest.Loop_nest.parallel_dim in
+  List.iter
+    (fun b ->
+      let lo, hi = block_range t b in
+      if lo <= hi then Iter_space.iter_slice t.nest.Loop_nest.space ~dim:u ~lo ~hi f)
+    (blocks_of_thread t thread)
+
+let iterations_per_thread t =
+  let counts = Array.make t.threads 0 in
+  for b = 0 to t.num_blocks - 1 do
+    let lo, hi = block_range t b in
+    if lo <= hi then begin
+      let per_index = Iter_space.cardinal t.nest.Loop_nest.space
+                      / Iter_space.extent t.nest.Loop_nest.space t.nest.Loop_nest.parallel_dim
+      in
+      counts.(owner t b) <- counts.(owner t b) + ((hi - lo + 1) * per_index)
+    end
+  done;
+  counts

@@ -1,0 +1,40 @@
+(** Loop parallelization and distribution (paper, Section 3).
+
+    The iteration space is cut into [num_blocks] iteration blocks by parallel
+    hyperplanes orthogonal to loop [u] (the nest's [parallel_dim]); blocks are
+    assigned to threads round-robin in thread order.  The baseline
+    computation-mapping scheme substitutes a different [assign] function. *)
+
+type t = private {
+  nest : Loop_nest.t;
+  threads : int;
+  num_blocks : int;
+  assign : int -> int;
+}
+
+val round_robin : threads:int -> ?blocks_per_thread:int -> Loop_nest.t -> t
+(** The paper's distribution: [num_blocks = threads * blocks_per_thread]
+    (default 1 block per thread), block [b] owned by thread [b mod threads].
+    @raise Invalid_argument if [threads < 1] or [blocks_per_thread < 1]. *)
+
+val custom : threads:int -> num_blocks:int -> assign:(int -> int) -> Loop_nest.t -> t
+(** Arbitrary block-to-thread mapping; [assign b] must be in
+    [0 .. threads-1] (checked lazily on use). *)
+
+val block_range : t -> int -> int * int
+(** Inclusive range of the parallel-loop index covered by block [b]; blocks
+    split the extent evenly with the last block possibly smaller.
+    @raise Invalid_argument if [b] is out of range. *)
+
+val owner : t -> int -> int
+(** Thread owning block [b]. *)
+
+val blocks_of_thread : t -> int -> int list
+(** Blocks owned by a thread, in execution order. *)
+
+val iter_thread : t -> thread:int -> (Flo_linalg.Ivec.t -> unit) -> unit
+(** Enumerate the iterations executed by [thread], block by block, each block
+    in lexicographic order.  Callback vector is reused. *)
+
+val iterations_per_thread : t -> int array
+(** Iteration counts per thread (for balance diagnostics). *)

@@ -1,0 +1,39 @@
+type array_decl = { id : int; name : string; space : Data_space.t; opaque : bool }
+
+let declare ?(opaque = false) ~id ~name space = { id; name; space; opaque }
+
+type t = { name : string; arrays : array_decl list; nests : Loop_nest.t list }
+
+let make ~name arrays nests =
+  let ids = List.map (fun a -> a.id) arrays in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    invalid_arg "Program.make: duplicate array ids";
+  let find id = List.find_opt (fun a -> a.id = id) arrays in
+  List.iter
+    (fun nest ->
+      List.iter
+        (fun r ->
+          match find (Access.array_id r) with
+          | None -> invalid_arg "Program.make: reference to undeclared array"
+          | Some a ->
+            if Access.rank r <> Data_space.rank a.space then
+              invalid_arg "Program.make: reference rank mismatch")
+        nest.Loop_nest.refs)
+    nests;
+  { name; arrays; nests }
+
+let array_decl t id = List.find (fun a -> a.id = id) t.arrays
+
+let array_ids t = List.sort compare (List.map (fun a -> a.id) t.arrays)
+
+let refs_to t id =
+  List.concat_map
+    (fun nest -> List.map (fun r -> (nest, r)) (Loop_nest.refs_to nest id))
+    t.nests
+
+let total_trip_count t =
+  List.fold_left (fun acc nest -> acc + Loop_nest.trip_count nest) 0 t.nests
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>program %s: %d arrays, %d nests@]" t.name
+    (List.length t.arrays) (List.length t.nests)

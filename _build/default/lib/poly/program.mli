@@ -1,0 +1,30 @@
+(** Whole-program summary consumed by the layout pass: the disk-resident
+    arrays and the parallelized loop nests referencing them.
+
+    Each array is stored in its own file (paper, Section 4 footnote 3). *)
+
+type array_decl = { id : int; name : string; space : Data_space.t; opaque : bool }
+(** [opaque] marks arrays that other parts of the application also touch
+    through non-affine subscripts (index arrays, conditionals): the layout
+    pass must leave such arrays in their canonical layout. *)
+
+val declare : ?opaque:bool -> id:int -> name:string -> Data_space.t -> array_decl
+
+type t = { name : string; arrays : array_decl list; nests : Loop_nest.t list }
+
+val make : name:string -> array_decl list -> Loop_nest.t list -> t
+(** Validates that array ids are distinct, every referenced array is declared
+    and every reference's rank matches its array's rank.
+    @raise Invalid_argument otherwise. *)
+
+val array_decl : t -> int -> array_decl
+(** @raise Not_found for unknown ids. *)
+
+val array_ids : t -> int list
+(** Sorted ids of all declared arrays. *)
+
+val refs_to : t -> int -> (Loop_nest.t * Access.t) list
+(** All references to an array across all nests, paired with their nest. *)
+
+val total_trip_count : t -> int
+val pp : Format.formatter -> t -> unit

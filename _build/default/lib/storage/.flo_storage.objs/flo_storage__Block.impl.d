@@ -1,0 +1,1 @@
+lib/storage/block.ml: Format Hashtbl Set

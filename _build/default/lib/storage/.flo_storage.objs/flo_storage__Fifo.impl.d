@@ -1,0 +1,1 @@
+lib/storage/fifo.ml: Block Policy Queue

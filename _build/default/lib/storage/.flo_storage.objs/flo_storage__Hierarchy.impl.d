@@ -1,0 +1,1 @@
+lib/storage/hierarchy.ml: Array Block Disk Lru Option Policy Stats Striping Topology

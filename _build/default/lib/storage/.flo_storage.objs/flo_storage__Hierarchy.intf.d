@@ -1,0 +1,1 @@
+lib/storage/hierarchy.mli: Block Disk Policy Stats Topology

@@ -1,0 +1,1 @@
+lib/storage/karma.ml: Array Block Hashtbl Int List Lru Map Option Policy

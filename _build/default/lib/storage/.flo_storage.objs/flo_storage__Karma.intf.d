@@ -1,0 +1,1 @@
+lib/storage/karma.mli: Policy

@@ -1,0 +1,1 @@
+lib/storage/mq.ml: Array Block Dll Policy Queue

@@ -1,0 +1,1 @@
+lib/storage/policy.mli: Block

@@ -1,0 +1,1 @@
+lib/storage/striping.mli: Block

@@ -1,0 +1,1 @@
+lib/storage/topology.mli: Format

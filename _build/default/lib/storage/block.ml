@@ -1,0 +1,33 @@
+type t = { file : int; index : int }
+
+let make ~file ~index =
+  if file < 0 || index < 0 then invalid_arg "Block.make: negative component";
+  { file; index }
+
+let file t = t.file
+let index t = t.index
+
+let compare a b =
+  let c = compare a.file b.file in
+  if c <> 0 then c else compare a.index b.index
+
+let equal a b = a.file = b.file && a.index = b.index
+
+let hash t = (t.file * 0x3fffffff) lxor t.index
+
+let pp ppf t = Format.fprintf ppf "%d:%d" t.file t.index
+
+let of_offset ~block_elems ~file off =
+  if off < 0 then invalid_arg "Block.of_offset: negative offset";
+  make ~file ~index:(off / block_elems)
+
+module Key = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+  let compare = compare
+end
+
+module Tbl = Hashtbl.Make (Key)
+module Set = Set.Make (Key)

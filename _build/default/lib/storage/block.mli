@@ -1,0 +1,23 @@
+(** Data blocks: the unit of storage-cache management and striping.
+
+    A block is identified by the file it belongs to (one file per
+    disk-resident array) and its index within that file's linear block
+    space.  Block size is a topology parameter; this module is agnostic. *)
+
+type t = { file : int; index : int }
+
+val make : file:int -> index:int -> t
+(** @raise Invalid_argument on negative file or index. *)
+
+val file : t -> int
+val index : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val of_offset : block_elems:int -> file:int -> int -> t
+(** Block containing the element at a file offset (in elements). *)
+
+module Tbl : Hashtbl.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,103 @@
+type slot = { mutable occupant : Block.t option; mutable referenced : bool }
+
+type state = {
+  capacity : int;
+  slots : slot array;
+  tbl : int Block.Tbl.t; (* block -> slot index *)
+  mutable hand : int;
+  mutable count : int;
+}
+
+let touch s b =
+  match Block.Tbl.find_opt s.tbl b with
+  | None -> false
+  | Some i ->
+    s.slots.(i).referenced <- true;
+    true
+
+(* Advance the hand until a victim with a clear reference bit is found. *)
+let rec find_victim s =
+  let slot = s.slots.(s.hand) in
+  match slot.occupant with
+  | None -> s.hand
+  | Some _ when not slot.referenced ->
+    s.hand
+  | Some _ ->
+    slot.referenced <- false;
+    s.hand <- (s.hand + 1) mod s.capacity;
+    find_victim s
+
+let insert ?(referenced = true) s b =
+  if Block.Tbl.mem s.tbl b then begin
+    ignore (touch s b);
+    None
+  end
+  else begin
+    (* below capacity, prefer an empty slot so nothing is evicted early *)
+    let find_empty () =
+      let rec go k =
+        if k = s.capacity then find_victim s
+        else
+          let i = (s.hand + k) mod s.capacity in
+          if s.slots.(i).occupant = None then i else go (k + 1)
+      in
+      go 0
+    in
+    let i = if s.count < s.capacity then find_empty () else find_victim s in
+    let slot = s.slots.(i) in
+    let victim = slot.occupant in
+    (match victim with
+    | Some v ->
+      Block.Tbl.remove s.tbl v;
+      s.count <- s.count - 1
+    | None -> ());
+    slot.occupant <- Some b;
+    slot.referenced <- referenced;
+    Block.Tbl.replace s.tbl b i;
+    s.count <- s.count + 1;
+    s.hand <- (i + 1) mod s.capacity;
+    victim
+  end
+
+let remove s b =
+  match Block.Tbl.find_opt s.tbl b with
+  | None -> false
+  | Some i ->
+    s.slots.(i).occupant <- None;
+    s.slots.(i).referenced <- false;
+    Block.Tbl.remove s.tbl b;
+    s.count <- s.count - 1;
+    true
+
+let create ~capacity : Policy.t =
+  Policy.check_capacity capacity;
+  let s =
+    {
+      capacity;
+      slots = Array.init capacity (fun _ -> { occupant = None; referenced = false });
+      tbl = Block.Tbl.create (2 * capacity);
+      hand = 0;
+      count = 0;
+    }
+  in
+  {
+    Policy.name = "clock";
+    capacity;
+    touch = touch s;
+    insert = (fun b -> insert s b);
+    insert_cold = (fun b -> insert ~referenced:false s b);
+    remove = remove s;
+    contains = (fun b -> Block.Tbl.mem s.tbl b);
+    size = (fun () -> s.count);
+    clear =
+      (fun () ->
+        Array.iter
+          (fun slot ->
+            slot.occupant <- None;
+            slot.referenced <- false)
+          s.slots;
+        Block.Tbl.clear s.tbl;
+        s.hand <- 0;
+        s.count <- 0);
+    iter = (fun f -> Block.Tbl.iter (fun b _ -> f b) s.tbl);
+  }

@@ -1,0 +1,7 @@
+(** CLOCK (second-chance) replacement.
+
+    Approximates LRU with a circular scan and per-block reference bits;
+    included because CLOCK-family policies are the common deployed
+    alternative the paper cites ([20] CLOCK-Pro). *)
+
+val create : Policy.factory

@@ -1,0 +1,49 @@
+type params = {
+  seek_base_us : float;
+  seek_factor_us : float;
+  rpm : int;
+  transfer_us : float;
+}
+
+let default_params =
+  { seek_base_us = 300.; seek_factor_us = 5.; rpm = 10_000; transfer_us = 1_200. }
+
+type t = {
+  params : params;
+  mutable head : int;
+  mutable reads : int;
+  mutable busy_us : float;
+}
+
+let create ?(params = default_params) () = { params; head = 0; reads = 0; busy_us = 0. }
+
+let params t = t.params
+let head t = t.head
+let reads t = t.reads
+let busy_us t = t.busy_us
+
+let rotation_us p = 60. *. 1e6 /. float_of_int p.rpm
+
+let service t ~lba =
+  if lba < 0 then invalid_arg "Disk.service: negative lba";
+  let p = t.params in
+  let dist = abs (lba - t.head) in
+  let cost =
+    if dist = 1 || dist = 0 then
+      (* sequential (or same-track re-read): head is already positioned *)
+      p.transfer_us
+    else
+      p.seek_base_us
+      +. (p.seek_factor_us *. sqrt (float_of_int dist))
+      +. (rotation_us p /. 2.)
+      +. p.transfer_us
+  in
+  t.head <- lba;
+  t.reads <- t.reads + 1;
+  t.busy_us <- t.busy_us +. cost;
+  cost
+
+let reset t =
+  t.head <- 0;
+  t.reads <- 0;
+  t.busy_us <- 0.

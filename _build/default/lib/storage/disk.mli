@@ -1,0 +1,30 @@
+(** Deterministic single-disk service-time model.
+
+    Seek time follows the usual [base + factor * sqrt(distance)] curve,
+    rotational delay is the average half-rotation at the configured RPM, and
+    transfer time is per block.  The model is deterministic (no randomness)
+    so experiments are exactly reproducible. *)
+
+type params = {
+  seek_base_us : float;  (** fixed cost of any non-zero seek *)
+  seek_factor_us : float;  (** multiplies [sqrt (|lba - head|)] *)
+  rpm : int;  (** rotational speed; 10_000 in the paper's Table 1 *)
+  transfer_us : float;  (** per-block transfer time *)
+}
+
+val default_params : params
+(** 10k RPM; microsecond-scale constants sized for the scaled-down blocks. *)
+
+type t
+
+val create : ?params:params -> unit -> t
+val params : t -> params
+val head : t -> int
+
+val service : t -> lba:int -> float
+(** Service time in microseconds for reading the block at [lba]; moves the
+    head there.  Sequential access ([lba = head + 1]) pays only transfer. *)
+
+val reads : t -> int
+val busy_us : t -> float
+val reset : t -> unit

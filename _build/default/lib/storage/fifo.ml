@@ -1,0 +1,49 @@
+type state = {
+  capacity : int;
+  tbl : unit Block.Tbl.t;
+  queue : Block.t Queue.t; (* may hold stale entries for removed blocks *)
+}
+
+let rec evict s =
+  match Queue.take_opt s.queue with
+  | None -> None
+  | Some b ->
+    if Block.Tbl.mem s.tbl b then begin
+      Block.Tbl.remove s.tbl b;
+      Some b
+    end
+    else evict s (* stale entry left behind by [remove] *)
+
+let insert s b =
+  if Block.Tbl.mem s.tbl b then None
+  else begin
+    let victim = if Block.Tbl.length s.tbl >= s.capacity then evict s else None in
+    Block.Tbl.add s.tbl b ();
+    Queue.add b s.queue;
+    victim
+  end
+
+let create ~capacity : Policy.t =
+  Policy.check_capacity capacity;
+  let s = { capacity; tbl = Block.Tbl.create (2 * capacity); queue = Queue.create () } in
+  {
+    Policy.name = "fifo";
+    capacity;
+    touch = (fun b -> Block.Tbl.mem s.tbl b);
+    insert = insert s;
+    insert_cold = insert s;
+    remove =
+      (fun b ->
+        if Block.Tbl.mem s.tbl b then begin
+          Block.Tbl.remove s.tbl b;
+          true
+        end
+        else false);
+    contains = (fun b -> Block.Tbl.mem s.tbl b);
+    size = (fun () -> Block.Tbl.length s.tbl);
+    clear =
+      (fun () ->
+        Block.Tbl.clear s.tbl;
+        Queue.clear s.queue);
+    iter = (fun f -> Block.Tbl.iter (fun b () -> f b) s.tbl);
+  }

@@ -1,0 +1,5 @@
+(** First-in-first-out replacement (diagnostic baseline).
+
+    Hits do not refresh standing; eviction order is insertion order. *)
+
+val create : Policy.factory

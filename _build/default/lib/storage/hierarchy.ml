@@ -1,0 +1,193 @@
+type protocol = Inclusive | Demote_exclusive
+
+type costs = { l1_hit_us : float; l2_hit_us : float; demote_us : float }
+
+let default_costs = { l1_hit_us = 25.; l2_hit_us = 140.; demote_us = 8. }
+
+type t = {
+  topo : Topology.t;
+  protocol : protocol;
+  mapping : int array; (* thread -> compute node *)
+  l1 : Policy.t array;
+  l2 : Policy.t array;
+  l1_stats : Stats.t array;
+  l2_stats : Stats.t array;
+  disks : Disk.t array;
+  costs : costs;
+  file_stride : int;
+  readahead : int;
+  mutable prefetches : int;
+  clocks : float array;
+}
+
+let create ?(protocol = Inclusive) ?mapping ?l1 ?l2 ?l1_factory ?l2_factory
+    ?(costs = default_costs) ?disk_params ?(file_stride = Striping.default_file_stride)
+    ?(readahead = 0) topo =
+  if readahead < 0 then invalid_arg "Hierarchy.create: negative readahead";
+  let threads = Topology.threads topo in
+  let mapping =
+    match mapping with
+    | None -> Array.init threads (fun t -> t mod topo.Topology.compute_nodes)
+    | Some m ->
+      if Array.length m <> threads then invalid_arg "Hierarchy.create: mapping length";
+      Array.iter
+        (fun c ->
+          if c < 0 || c >= topo.Topology.compute_nodes then
+            invalid_arg "Hierarchy.create: mapping target out of range")
+        m;
+      Array.copy m
+  in
+  let l1_factory = Option.value l1_factory ~default:Lru.create in
+  let l2_factory = Option.value l2_factory ~default:Lru.create in
+  let l1 =
+    match l1 with
+    | Some caches ->
+      if Array.length caches <> topo.Topology.io_nodes then
+        invalid_arg "Hierarchy.create: l1 cache count";
+      caches
+    | None ->
+      Array.init topo.Topology.io_nodes (fun _ ->
+          l1_factory ~capacity:topo.Topology.io_cache_blocks)
+  in
+  let l2 =
+    match l2 with
+    | Some caches ->
+      if Array.length caches <> topo.Topology.storage_nodes then
+        invalid_arg "Hierarchy.create: l2 cache count";
+      caches
+    | None ->
+      Array.init topo.Topology.storage_nodes (fun _ ->
+          l2_factory ~capacity:topo.Topology.storage_cache_blocks)
+  in
+  {
+    topo;
+    protocol;
+    mapping;
+    l1;
+    l2;
+    l1_stats = Array.init topo.Topology.io_nodes (fun _ -> Stats.create ());
+    l2_stats = Array.init topo.Topology.storage_nodes (fun _ -> Stats.create ());
+    disks =
+      Array.init topo.Topology.storage_nodes (fun _ -> Disk.create ?params:disk_params ());
+    costs;
+    file_stride;
+    readahead;
+    prefetches = 0;
+    clocks = Array.make threads 0.;
+  }
+
+let topology t = t.topo
+
+let io_node_of_thread t thread =
+  if thread < 0 || thread >= Array.length t.clocks then
+    invalid_arg "Hierarchy: thread out of range";
+  Topology.io_of_compute t.topo
+    (t.mapping.(thread) mod t.topo.Topology.compute_nodes)
+
+(* Install a block in an L1 cache; under DEMOTE an L1 victim moves to the
+   MRU end of its storage node's cache. *)
+let install_l1 t ~io ~thread b =
+  match t.l1.(io).Policy.insert b with
+  | None -> ()
+  | Some victim -> (
+    Stats.record_eviction t.l1_stats.(io);
+    match t.protocol with
+    | Inclusive -> ()
+    | Demote_exclusive ->
+      let sn = Striping.storage_node_of ~storage_nodes:t.topo.Topology.storage_nodes victim in
+      Stats.record_demotion t.l2_stats.(sn);
+      t.clocks.(thread) <- t.clocks.(thread) +. t.costs.demote_us;
+      (match t.l2.(sn).Policy.insert victim with
+      | Some _ -> Stats.record_eviction t.l2_stats.(sn)
+      | None -> ()))
+
+let access t ~thread b =
+  let io = io_node_of_thread t thread in
+  let cost = ref t.costs.l1_hit_us in
+  if t.l1.(io).Policy.touch b then Stats.record_hit t.l1_stats.(io)
+  else begin
+    Stats.record_miss t.l1_stats.(io);
+    let sn = Striping.storage_node_of ~storage_nodes:t.topo.Topology.storage_nodes b in
+    cost := !cost +. t.costs.l2_hit_us;
+    if t.l2.(sn).Policy.touch b then begin
+      Stats.record_hit t.l2_stats.(sn);
+      (match t.protocol with
+      | Inclusive -> ()
+      | Demote_exclusive ->
+        (* the client caches it now: deprioritize rather than keep hot *)
+        ignore (t.l2.(sn).Policy.remove b);
+        ignore (t.l2.(sn).Policy.insert_cold b))
+    end
+    else begin
+      Stats.record_miss t.l2_stats.(sn);
+      let lba =
+        Striping.lba_of ~storage_nodes:t.topo.Topology.storage_nodes
+          ~file_stride:t.file_stride b
+      in
+      cost := !cost +. Disk.service t.disks.(sn) ~lba;
+      (* sequential readahead: the storage node speculatively pulls the next
+         blocks of the same file into its cache.  The disk transfer overlaps
+         with the demand read, so only a fraction of the transfer is charged
+         to the requesting thread. *)
+      if t.readahead > 0 then begin
+        let params = Disk.params t.disks.(sn) in
+        for k = 1 to t.readahead do
+          (* next stripe unit on this storage node *)
+          let next =
+            Block.make ~file:(Block.file b)
+              ~index:(Block.index b + (k * t.topo.Topology.storage_nodes))
+          in
+          if Block.index next / t.topo.Topology.storage_nodes < t.file_stride
+             && not (t.l2.(sn).Policy.contains next)
+          then begin
+            t.prefetches <- t.prefetches + 1;
+            cost := !cost +. (0.2 *. params.Disk.transfer_us);
+            match t.l2.(sn).Policy.insert_cold next with
+            | Some _ -> Stats.record_eviction t.l2_stats.(sn)
+            | None -> ()
+          end
+        done
+      end;
+      match t.protocol with
+      | Inclusive ->
+        (match t.l2.(sn).Policy.insert b with
+        | Some _ -> Stats.record_eviction t.l2_stats.(sn)
+        | None -> ())
+      | Demote_exclusive ->
+        (* DEMOTE-LRU keeps plain LRU for read blocks too, but a block the
+           client is about to cache enters at the cold end *)
+        (match t.l2.(sn).Policy.insert_cold b with
+        | Some _ -> Stats.record_eviction t.l2_stats.(sn)
+        | None -> ())
+    end;
+    install_l1 t ~io ~thread b
+  end;
+  t.clocks.(thread) <- t.clocks.(thread) +. !cost
+
+let touch_element t ~thread ~file ~offset =
+  access t ~thread
+    (Block.of_offset ~block_elems:t.topo.Topology.block_elems ~file offset)
+
+let thread_clock_us t thread = t.clocks.(thread)
+
+let elapsed_us t = Array.fold_left max 0. t.clocks
+
+let add_cpu_us t ~thread us = t.clocks.(thread) <- t.clocks.(thread) +. us
+
+let l1_stats t = Stats.merge (Array.to_list t.l1_stats)
+let l2_stats t = Stats.merge (Array.to_list t.l2_stats)
+let l1_stats_of t i = t.l1_stats.(i)
+let l2_stats_of t i = t.l2_stats.(i)
+
+let disk_reads t = Array.fold_left (fun acc d -> acc + Disk.reads d) 0 t.disks
+
+let prefetches t = t.prefetches
+
+let reset t =
+  Array.iter (fun (c : Policy.t) -> c.Policy.clear ()) t.l1;
+  Array.iter (fun (c : Policy.t) -> c.Policy.clear ()) t.l2;
+  Array.iter Stats.reset t.l1_stats;
+  Array.iter Stats.reset t.l2_stats;
+  Array.iter Disk.reset t.disks;
+  t.prefetches <- 0;
+  Array.fill t.clocks 0 (Array.length t.clocks) 0.

@@ -1,0 +1,80 @@
+(** Trace-driven simulator for the multi-layer storage-cache hierarchy.
+
+    A block access from a thread walks: its I/O node's cache (layer 1), then
+    — by striping — one storage node's cache (layer 2), then that node's
+    disk.  The per-thread clocks accumulate modeled service time; the miss
+    counters per cache feed the paper's Tables 2-3.
+
+    Two inter-level protocols are provided:
+    {ul
+    {- [Inclusive]: the paper's default.  Blocks fetched from below are
+       installed at every level (LRU et al. inclusive caching).}
+    {- [Demote_exclusive]: Wong & Wilkes' DEMOTE.  A layer-2 read hit hands
+       the block to layer 1 and drops it from layer 2; blocks evicted from
+       layer 1 are demoted to the MRU end of their storage node's cache;
+       disk fills bypass layer 2.}}
+
+    KARMA needs no protocol of its own: its partitioned caches (see
+    {!Karma}) refuse blocks assigned to the other level, so running them
+    under [Inclusive] yields exclusive hint-based caching. *)
+
+type protocol = Inclusive | Demote_exclusive
+
+type costs = {
+  l1_hit_us : float;  (** compute -> I/O node round trip on an L1 hit *)
+  l2_hit_us : float;  (** additional hop to a storage node *)
+  demote_us : float;  (** network cost of one DEMOTE transfer *)
+}
+
+val default_costs : costs
+
+type t
+
+val create :
+  ?protocol:protocol ->
+  ?mapping:int array ->
+  ?l1:Policy.t array ->
+  ?l2:Policy.t array ->
+  ?l1_factory:Policy.factory ->
+  ?l2_factory:Policy.factory ->
+  ?costs:costs ->
+  ?disk_params:Disk.params ->
+  ?file_stride:int ->
+  ?readahead:int ->
+  Topology.t ->
+  t
+(** [mapping] permutes threads onto compute nodes (Fig. 7(b)); default is
+    the identity.  Explicit cache arrays win over factories; factories
+    default to {!Lru.create}.  [readahead > 0] enables sequential prefetch
+    at the storage nodes: a disk read also pulls the next [readahead]
+    same-node stripe units of the file into the storage cache (cold), with
+    a small overlapped transfer charge — the mechanism behind the paper's
+    remark that linear layouts improve hardware I/O prefetching.
+    @raise Invalid_argument if array lengths or the mapping mismatch the
+    topology. *)
+
+val topology : t -> Topology.t
+val access : t -> thread:int -> Block.t -> unit
+(** Simulate one block read by [thread]. *)
+
+val touch_element : t -> thread:int -> file:int -> offset:int -> unit
+(** Convenience: access the block containing an element offset. *)
+
+val thread_clock_us : t -> int -> float
+val elapsed_us : t -> float
+(** Max over threads — the modeled parallel execution time. *)
+
+val add_cpu_us : t -> thread:int -> float -> unit
+(** Charge pure-compute time to a thread's clock. *)
+
+val l1_stats : t -> Stats.t
+(** Aggregated over all I/O node caches. *)
+
+val l2_stats : t -> Stats.t
+val l1_stats_of : t -> int -> Stats.t
+val l2_stats_of : t -> int -> Stats.t
+val disk_reads : t -> int
+val prefetches : t -> int
+val io_node_of_thread : t -> int -> int
+val reset : t -> unit
+(** Clear caches, stats, clocks and disk state (topology retained). *)

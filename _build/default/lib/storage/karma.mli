@@ -1,0 +1,56 @@
+(** KARMA-style hint-driven exclusive multilevel caching (Yadgar, Factor &
+    Schuster, FAST'07 — the paper's reference [47]).
+
+    Application hints (here: the compiler's per-thread, per-array block-range
+    summaries) are overlaid into disjoint {e classes}; classes are ranked by
+    marginal gain (access density) and greedily pinned to cache levels, top
+    level first.  Each class is cached at exactly one level — caches at other
+    levels simply refuse to store its blocks — which yields exclusive caching
+    without demotions.
+
+    The quality of the resulting partition depends directly on how localized
+    each thread's block ranges are, which is how the layout optimization
+    interacts with KARMA in Fig. 7(h). *)
+
+type hint = {
+  file : int;
+  lo_block : int;
+  hi_block : int;  (** inclusive *)
+  accesses : float;  (** estimated accesses to the range *)
+}
+
+type cls = {
+  file : int;
+  lo : int;
+  hi : int;  (** inclusive block range; classes of one file are disjoint *)
+  density : float;  (** estimated accesses per block *)
+}
+
+val size : cls -> int
+
+val classes : hint list -> cls list
+(** Overlay segmentation: boundaries at every hint endpoint, densities
+    summed over overlapping hints.  Zero-density gaps are dropped. *)
+
+type plan
+
+val plan :
+  l1_hints:hint list array ->
+  l1_capacity:int ->
+  l2_capacity_total:int ->
+  plan
+(** [l1_hints.(i)] are the hints of the threads served by I/O node [i]; the
+    global class list is their union.  Each I/O node greedily pins the
+    densest classes its threads touch into its own [l1_capacity]; classes
+    pinned by no I/O node compete for the (pooled) level-2 capacity. *)
+
+val l1_assigned : plan -> io:int -> cls list
+val l2_assigned : plan -> cls list
+
+val l1_cache : plan -> io:int -> Policy.t
+(** Partitioned cache for I/O node [io]: one LRU per pinned class; blocks of
+    unpinned classes are never stored ([insert] is a no-op for them). *)
+
+val l2_cache : plan -> storage_nodes:int -> Policy.t
+(** Partitioned cache for one storage node; per-class quota is the class
+    size divided by [storage_nodes] (striping spreads each class evenly). *)

@@ -1,0 +1,57 @@
+type state = {
+  capacity : int;
+  tbl : Block.t Dll.node Block.Tbl.t;
+  order : Block.t Dll.t; (* front = MRU *)
+}
+
+let touch s b =
+  match Block.Tbl.find_opt s.tbl b with
+  | None -> false
+  | Some n ->
+    Dll.move_front s.order n;
+    true
+
+let evict s =
+  match Dll.pop_back s.order with
+  | None -> None
+  | Some victim ->
+    Block.Tbl.remove s.tbl victim;
+    Some victim
+
+let add ~cold s b =
+  match Block.Tbl.find_opt s.tbl b with
+  | Some n ->
+    Dll.move_front s.order n;
+    None
+  | None ->
+    let victim = if Dll.length s.order >= s.capacity then evict s else None in
+    let n = if cold then Dll.push_back s.order b else Dll.push_front s.order b in
+    Block.Tbl.add s.tbl b n;
+    victim
+
+let remove s b =
+  match Block.Tbl.find_opt s.tbl b with
+  | None -> false
+  | Some n ->
+    Dll.remove s.order n;
+    Block.Tbl.remove s.tbl b;
+    true
+
+let create ~capacity : Policy.t =
+  Policy.check_capacity capacity;
+  let s = { capacity; tbl = Block.Tbl.create (2 * capacity); order = Dll.create () } in
+  {
+    Policy.name = "lru";
+    capacity;
+    touch = touch s;
+    insert = add ~cold:false s;
+    insert_cold = add ~cold:true s;
+    remove = remove s;
+    contains = (fun b -> Block.Tbl.mem s.tbl b);
+    size = (fun () -> Dll.length s.order);
+    clear =
+      (fun () ->
+        Block.Tbl.clear s.tbl;
+        Dll.clear s.order);
+    iter = (fun f -> Dll.iter f s.order);
+  }

@@ -1,0 +1,7 @@
+(** Least-recently-used replacement — the paper's default policy.
+
+    O(1) touch/insert/remove via a hash table over an intrusive
+    doubly-linked recency list.  [insert] places at the MRU end,
+    [insert_cold] at the LRU end. *)
+
+val create : Policy.factory

@@ -1,0 +1,49 @@
+type t = {
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable demotions : int;
+}
+
+let create () = { accesses = 0; hits = 0; misses = 0; evictions = 0; demotions = 0 }
+
+let record_hit t =
+  t.accesses <- t.accesses + 1;
+  t.hits <- t.hits + 1
+
+let record_miss t =
+  t.accesses <- t.accesses + 1;
+  t.misses <- t.misses + 1
+
+let record_eviction t = t.evictions <- t.evictions + 1
+let record_demotion t = t.demotions <- t.demotions + 1
+
+let miss_rate t =
+  if t.accesses = 0 then 0. else float_of_int t.misses /. float_of_int t.accesses
+
+let hit_rate t =
+  if t.accesses = 0 then 0. else float_of_int t.hits /. float_of_int t.accesses
+
+let merge l =
+  let m = create () in
+  List.iter
+    (fun s ->
+      m.accesses <- m.accesses + s.accesses;
+      m.hits <- m.hits + s.hits;
+      m.misses <- m.misses + s.misses;
+      m.evictions <- m.evictions + s.evictions;
+      m.demotions <- m.demotions + s.demotions)
+    l;
+  m
+
+let reset t =
+  t.accesses <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  t.demotions <- 0
+
+let pp ppf t =
+  Format.fprintf ppf "acc=%d hit=%d miss=%d (%.1f%%) evict=%d demote=%d" t.accesses
+    t.hits t.misses (100. *. miss_rate t) t.evictions t.demotions

@@ -1,0 +1,25 @@
+(** Per-cache access counters. *)
+
+type t = {
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable demotions : int;
+}
+
+val create : unit -> t
+val record_hit : t -> unit
+val record_miss : t -> unit
+val record_eviction : t -> unit
+val record_demotion : t -> unit
+
+val miss_rate : t -> float
+(** [misses / accesses]; 0 when no accesses. *)
+
+val hit_rate : t -> float
+val merge : t list -> t
+(** Fresh aggregate of the given counters. *)
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

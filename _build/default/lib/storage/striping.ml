@@ -1,0 +1,13 @@
+let default_file_stride = 8192
+
+let storage_node_of ~storage_nodes b =
+  if storage_nodes < 1 then invalid_arg "Striping: storage_nodes < 1";
+  Block.index b mod storage_nodes
+
+let lba_of ~storage_nodes ~file_stride b =
+  let local = Block.index b / storage_nodes in
+  if local >= file_stride then invalid_arg "Striping.lba_of: file larger than file_stride";
+  (Block.file b * file_stride) + local
+
+let locate ~storage_nodes ~file_stride b =
+  (storage_node_of ~storage_nodes b, lba_of ~storage_nodes ~file_stride b)

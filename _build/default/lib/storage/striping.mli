@@ -1,0 +1,20 @@
+(** PVFS-style striping: file blocks are distributed round-robin over the
+    storage nodes; stripe unit = one data block (paper, Table 1: stripe size
+    equals the cache block size).
+
+    Each file occupies a fixed region ([file_stride] blocks, default 8192)
+    of every disk's address space so on-disk locality within a file is
+    preserved and cross-file seek distances stay physical. *)
+
+val storage_node_of : storage_nodes:int -> Block.t -> int
+(** Round-robin on the block index. *)
+
+val lba_of : storage_nodes:int -> file_stride:int -> Block.t -> int
+(** Logical block address on its storage node's disk.
+    @raise Invalid_argument if the per-node file slot overflows
+    [file_stride]. *)
+
+val locate : storage_nodes:int -> file_stride:int -> Block.t -> int * int
+(** [(storage_node, lba)]. *)
+
+val default_file_stride : int

@@ -1,0 +1,56 @@
+type t = {
+  compute_nodes : int;
+  threads_per_compute : int;
+  io_nodes : int;
+  storage_nodes : int;
+  block_elems : int;
+  io_cache_blocks : int;
+  storage_cache_blocks : int;
+}
+
+let make ~compute_nodes ?(threads_per_compute = 1) ~io_nodes ~storage_nodes ~block_elems
+    ~io_cache_blocks ~storage_cache_blocks () =
+  let pos name v = if v < 1 then invalid_arg ("Topology.make: " ^ name ^ " < 1") in
+  pos "compute_nodes" compute_nodes;
+  pos "threads_per_compute" threads_per_compute;
+  pos "io_nodes" io_nodes;
+  pos "storage_nodes" storage_nodes;
+  pos "block_elems" block_elems;
+  pos "io_cache_blocks" io_cache_blocks;
+  pos "storage_cache_blocks" storage_cache_blocks;
+  if compute_nodes mod io_nodes <> 0 then
+    invalid_arg "Topology.make: compute_nodes not a multiple of io_nodes";
+  if io_nodes mod storage_nodes <> 0 then
+    invalid_arg "Topology.make: io_nodes not a multiple of storage_nodes";
+  {
+    compute_nodes;
+    threads_per_compute;
+    io_nodes;
+    storage_nodes;
+    block_elems;
+    io_cache_blocks;
+    storage_cache_blocks;
+  }
+
+let default =
+  make ~compute_nodes:64 ~io_nodes:16 ~storage_nodes:4 ~block_elems:64
+    ~io_cache_blocks:256 ~storage_cache_blocks:512 ()
+
+let threads t = t.compute_nodes * t.threads_per_compute
+let compute_per_io t = t.compute_nodes / t.io_nodes
+let io_per_storage t = t.io_nodes / t.storage_nodes
+let threads_per_io t = compute_per_io t * t.threads_per_compute
+
+let io_of_compute t c =
+  if c < 0 || c >= t.compute_nodes then invalid_arg "Topology.io_of_compute";
+  c / compute_per_io t
+
+let nominal_storage_of_io t io =
+  if io < 0 || io >= t.io_nodes then invalid_arg "Topology.nominal_storage_of_io";
+  io / io_per_storage t
+
+let pp ppf t =
+  Format.fprintf ppf
+    "(%d compute x %d thr, %d io [%d blk cache], %d storage [%d blk cache], block %d elems)"
+    t.compute_nodes t.threads_per_compute t.io_nodes t.io_cache_blocks t.storage_nodes
+    t.storage_cache_blocks t.block_elems

@@ -1,0 +1,48 @@
+(** Static description of the three-tier storage architecture (Fig. 1):
+    compute nodes running threads, I/O nodes with storage caches, storage
+    nodes with storage caches and disks.
+
+    Node counts must nest evenly: [compute_nodes mod io_nodes = 0] and
+    [io_nodes mod storage_nodes = 0], matching the pset-style grouping of
+    BG/P and the paper's symmetric-hierarchy assumption (Section 4.2). *)
+
+type t = {
+  compute_nodes : int;
+  threads_per_compute : int;
+  io_nodes : int;
+  storage_nodes : int;
+  block_elems : int;  (** data block = stripe unit, in array elements *)
+  io_cache_blocks : int;  (** cache capacity per I/O node, in blocks *)
+  storage_cache_blocks : int;  (** cache capacity per storage node, in blocks *)
+}
+
+val make :
+  compute_nodes:int ->
+  ?threads_per_compute:int ->
+  io_nodes:int ->
+  storage_nodes:int ->
+  block_elems:int ->
+  io_cache_blocks:int ->
+  storage_cache_blocks:int ->
+  unit ->
+  t
+(** @raise Invalid_argument on non-positive fields or uneven nesting. *)
+
+val default : t
+(** The scaled-down Table 1 system: 64 compute nodes (1 thread each), 16 I/O
+    nodes, 4 storage nodes, 64-element blocks, 256-block I/O caches and
+    512-block storage caches (the paper's 1:2 capacity ratio). *)
+
+val threads : t -> int
+val compute_per_io : t -> int
+val io_per_storage : t -> int
+val threads_per_io : t -> int
+
+val io_of_compute : t -> int -> int
+(** I/O node serving a compute node. *)
+
+val nominal_storage_of_io : t -> int -> int
+(** Storage node grouped under an I/O node in the nominal tree (used for
+    layout-pattern construction; actual block routing is by striping). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/app.ml: Flo_poly List Loop_nest Program

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Access App Data_space Flo_poly Iter_space List Loop_nest Printf Program

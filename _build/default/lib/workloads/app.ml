@@ -1,0 +1,27 @@
+open Flo_poly
+
+type benefit_group = No_benefit | Moderate | High
+
+type t = {
+  name : string;
+  description : string;
+  group : benefit_group;
+  master_slave : bool;
+  program : Program.t;
+  cpu_us_per_iteration : float;
+}
+
+let make ~name ~description ~group ?(master_slave = false) ?(cpu_us_per_iteration = 0.2)
+    program =
+  { name; description; group; master_slave; program; cpu_us_per_iteration }
+
+let group_to_string = function
+  | No_benefit -> "none"
+  | Moderate -> "moderate"
+  | High -> "high"
+
+let total_accesses t =
+  List.fold_left
+    (fun acc nest ->
+      acc + (Loop_nest.trip_count nest * List.length nest.Loop_nest.refs))
+    0 t.program.Program.nests

@@ -1,0 +1,35 @@
+(** Application descriptors for the 16-program evaluation suite.
+
+    Each application is a {!Flo_poly.Program.t} (arrays + parallelized loop
+    nests) plus execution-model metadata.  [group] records the benefit group
+    the paper reports for the application (Section 5.2); tests assert that
+    the reproduction lands each app in its group. *)
+
+open Flo_poly
+
+type benefit_group = No_benefit | Moderate | High
+
+type t = {
+  name : string;
+  description : string;
+  group : benefit_group;
+  master_slave : bool;
+      (** apps whose computation is master-slave rather than data-parallel
+          (cc-ver-2, afores, sar) — the only ones sensitive to thread
+          mapping in Fig. 7(b) *)
+  program : Program.t;
+  cpu_us_per_iteration : float;
+}
+
+val make :
+  name:string ->
+  description:string ->
+  group:benefit_group ->
+  ?master_slave:bool ->
+  ?cpu_us_per_iteration:float ->
+  Program.t ->
+  t
+
+val group_to_string : benefit_group -> string
+val total_accesses : t -> int
+(** Element accesses one full execution issues (trip counts x refs). *)

@@ -1,0 +1,251 @@
+open Flo_poly
+
+(* ---- small construction DSL ---------------------------------------- *)
+
+let arr ?opaque id name extents = Program.declare ?opaque ~id ~name (Data_space.make extents)
+
+let sq n = Iter_space.make [| (0, n - 1); (0, n - 1) |]
+let rect a b = Iter_space.make [| (0, a - 1); (0, b - 1) |]
+let cube a b c = Iter_space.make [| (0, a - 1); (0, b - 1); (0, c - 1) |]
+
+let nest ?(w = 1) name space refs = Loop_nest.make ~name ~weight:w ~parallel_dim:0 space refs
+
+let row id = Access.ij ~array_id:id
+let col id = Access.ji ~array_id:id
+let diag id = Access.diag ~array_id:id
+
+(* 3-D accesses over iterators (i, j, k) *)
+let row3 id = Access.of_rows ~array_id:id [ [ 1; 0; 0 ]; [ 0; 1; 0 ]; [ 0; 0; 1 ] ] [ 0; 0; 0 ]
+let jmaj id = Access.of_rows ~array_id:id [ [ 0; 1; 0 ]; [ 1; 0; 0 ]; [ 0; 0; 1 ] ] [ 0; 0; 0 ]
+let kmaj id = Access.of_rows ~array_id:id [ [ 0; 0; 1 ]; [ 0; 1; 0 ]; [ 1; 0; 0 ] ] [ 0; 0; 0 ]
+let stride2 id = Access.of_rows ~array_id:id [ [ 2; 0 ]; [ 0; 2 ] ] [ 0; 0 ]
+
+let n2 = 256 (* default 2-D array edge *)
+let n2s = 128 (* small 2-D edge *)
+let n3 = 64 (* 3-D array edge *)
+
+(* cubic 3-D spaces: transposed (j-/k-major) references stay in range and
+   data slabs are fully packed under any axis permutation *)
+let cube3 () = cube n3 n3 n3
+let arr3 ?opaque id name = arr ?opaque id name [| n3; n3; n3 |]
+
+let prog name arrays nests = Program.make ~name arrays nests
+
+(* ---- group 1: no benefit ------------------------------------------- *)
+
+let cc_ver_1 =
+  App.make ~name:"cc-ver-1" ~cpu_us_per_iteration:77.0 ~group:App.No_benefit
+    ~description:"protein structure prediction v1: row-wise passes with strong reuse"
+    (prog "cc-ver-1"
+       [ arr 0 "w" [| n2; n2 |]; arr 1 "x" [| n2; n2 |]; arr 2 "y" [| n2; n2 |];
+         arr 3 "z" [| n2; n2 |] ]
+       [
+         nest ~w:2 "fold" (sq n2) [ row 0; row 1 ];
+         nest ~w:2 "pair" (sq n2) [ row 1; row 2 ];
+         nest ~w:2 "refine" (sq n2) [ row 2; row 3; row 0 ];
+       ])
+
+let s3asim =
+  App.make ~name:"s3asim" ~cpu_us_per_iteration:112.0 ~group:App.No_benefit
+    ~description:"sequence-similarity search: sequential database scans, small per-query state"
+    (prog "s3asim"
+       [ arr 0 "db0" [| n2; n2 |]; arr 1 "db1" [| n2; n2 |]; arr 2 "query" [| n2s; n2s |];
+         arr 3 "score" [| n2s; n2s |]; arr 4 "hits" [| n2s; n2s |] ]
+       [
+         nest ~w:2 "scan" (sq n2) [ row 0; row 1 ];
+         nest ~w:2 "score" (sq n2s) [ row 2; row 3 ];
+         nest "reduce" (sq n2s) [ row 3; row 4 ];
+       ])
+
+let twer =
+  (* 17 arrays, each referenced row-wise and column-wise with equal weight:
+     the homogeneous systems conflict and coverage is stuck at ~50% *)
+  let arrays =
+    (* half the state arrays are also accessed through particle index lists
+       the front-end cannot analyze *)
+    List.init 17 (fun i -> arr ~opaque:(i mod 2 = 1) i (Printf.sprintf "t%02d" i) [| n2s; n2s |])
+  in
+  let quartet base = List.init 4 (fun k -> (base + k) mod 17) in
+  let row_phase p = nest (Printf.sprintf "row-phase%d" p) (sq n2s) (List.map row (quartet (4 * p))) in
+  let col_phase p = nest (Printf.sprintf "col-phase%d" p) (sq n2s) (List.map col (quartet (4 * p))) in
+  App.make ~name:"twer" ~cpu_us_per_iteration:740.0 ~group:App.No_benefit
+    ~description:"twister simulation kernel: 17 arrays with conflicting row/column phases"
+    (prog "twer" arrays
+       (List.concat_map (fun p -> [ row_phase p; col_phase p ]) [ 0; 1; 2; 3 ]))
+
+(* ---- group 2: moderate benefit ------------------------------------- *)
+
+let bt =
+  App.make ~name:"bt" ~cpu_us_per_iteration:11000.0 ~group:App.Moderate
+    ~description:"out-of-core NAS BT: directional solves, two of five arrays cache-hostile"
+    (prog "bt"
+       [ arr3 0 "u"; arr3 1 "rhs"; arr3 2 "lhsy"; arr3 3 "lhsz";
+         arr3 4 "forcing" ]
+       [
+         nest "x-solve" (cube3 ()) [ row3 0; row3 1 ];
+         nest "y-solve" (cube3 ()) [ jmaj 2; row3 1 ];
+         nest "z-solve" (cube3 ()) [ kmaj 2; kmaj 3 ];
+         nest "add" (cube3 ()) [ row3 0; row3 4 ];
+       ])
+
+let cc_ver_2 =
+  App.make ~name:"cc-ver-2" ~cpu_us_per_iteration:31700.0 ~group:App.Moderate ~master_slave:true
+    ~description:"protein structure prediction v2: master-slave with column-wise slave work"
+    (prog "cc-ver-2"
+       [ arr 0 "c0" [| n2; n2 |]; arr 1 "c1" [| n2; n2 |]; arr 2 "c2" [| 2 * n2; 2 * n2 |];
+         arr 3 "c3" [| 2 * n2; 2 * n2 |]; arr 4 "c4" [| n2; n2 |]; arr 5 "c5" [| n2; n2 |] ]
+       [
+         nest ~w:3 "master-prep" (rect 32 96) [ diag 2; row 0 ];
+         nest "slave1" (sq n2) [ col 2; col 3 ];
+         nest "slave2" (sq n2) [ col 4; col 5; row 0 ];
+         nest "exchange" (sq n2) [ row 2; row 3 ];
+         nest "gather" (rect 32 n2) [ row 1; row 0 ];
+       ])
+
+let astro =
+  App.make ~name:"astro" ~cpu_us_per_iteration:12900.0 ~group:App.Moderate
+    ~description:"astrophysics code: column sweeps with a significant row-wise update phase"
+    (prog "astro"
+       (List.init 7 (fun i ->
+            let edge = if i = 0 || i = 2 then 2 * n2 else n2 in
+            arr i (Printf.sprintf "a%d" i) [| edge; edge |]))
+       [
+         nest ~w:2 "sweep1" (sq n2) [ col 0; col 1 ];
+         nest ~w:2 "sweep2" (sq n2) [ col 2; col 3 ];
+         nest ~w:2 "update" (sq n2) [ row 0; row 2; row 4 ];
+         nest "flux" (sq n2) [ col 5; col 6; row 4 ];
+       ])
+
+let wupwise =
+  App.make ~name:"wupwise" ~cpu_us_per_iteration:1410.0 ~group:App.Moderate
+    ~description:"out-of-core SPECOMP wupwise: half the arrays column/k-major"
+    (prog "wupwise"
+       [ arr 0 "g0" [| n2; n2 |]; arr 1 "g1" [| n2; n2 |]; arr 2 "g2" [| n2; n2 |];
+         arr 3 "g3" [| n2; n2 |]; arr3 4 "psi"; arr3 5 "phi" ]
+       [
+         nest ~w:2 "gamma-col" (sq n2) [ col 0; col 1 ];
+         nest ~w:2 "gamma-row" (sq n2) [ row 1; row 2 ];
+         nest "su3" (cube3 ()) [ kmaj 4; jmaj 4; row3 5 ];
+         nest "project" (sq n2) [ col 3 ];
+       ])
+
+let contour =
+  App.make ~name:"contour" ~cpu_us_per_iteration:257.0 ~group:App.Moderate
+    ~description:"contour display: sheared (wavefront) traversals plus row-wise rendering"
+    (prog "contour"
+       [ arr 0 "grid" [| 320; n2 |]; arr 1 "level" [| 320; n2 |]; arr 2 "out" [| 2 * n2; 2 * n2 |];
+         arr 3 "tmp" [| n2; n2 |]; arr 4 "mask" [| n2; n2 |] ]
+       [
+         nest ~w:6 "trace" (rect 64 n2) [ diag 0; diag 1 ];
+         nest "render" (sq n2) [ col 2; row 2 ];
+         nest "post" (sq n2) [ row 2; row 4; row 3 ];
+       ])
+
+let mgrid =
+  App.make ~name:"mgrid" ~cpu_us_per_iteration:2100.0 ~group:App.Moderate
+    ~description:"out-of-core SPECOMP mgrid: column smoothing and strided restriction"
+    (prog "mgrid"
+       [ arr 0 "fine" [| n2; n2 |]; arr 1 "mid" [| n2s; n2s |]; arr 2 "coarse" [| 64; 64 |];
+         arr 3 "resid" [| n2; n2 |]; arr 4 "tmp" [| n2s; n2s |] ]
+       [
+         nest ~w:2 "smooth" (sq n2) [ col 0; row 3 ];
+         nest "restrict" (sq n2s) [ stride2 0; row 1 ];
+         nest "interp" (sq n2s) [ col 1; row 4 ];
+         nest ~w:2 "apply" (sq 64) [ row 2 ];
+       ])
+
+(* ---- group 3: high benefit ----------------------------------------- *)
+
+let swim =
+  App.make ~name:"swim" ~cpu_us_per_iteration:40800.0 ~group:App.High
+    ~description:"out-of-core SPECOMP swim: shallow-water column sweeps throughout"
+    (prog "swim"
+       [ arr 0 "u" [| n2; n2 |]; arr 1 "v" [| n2; n2 |]; arr 2 "p" [| n2; n2 |];
+         arr 3 "unew" [| n2; n2 |]; arr 4 "vnew" [| n2; n2 |]; arr 5 "pnew" [| n2; n2 |] ]
+       [
+         nest ~w:2 "calc1" (sq n2) [ col 0; col 1; col 2 ];
+         nest ~w:2 "calc2" (sq n2) [ col 3; col 4; col 5 ];
+         nest "calc3" (sq n2) [ col 1; col 4 ];
+       ])
+
+let afores =
+  App.make ~name:"afores" ~cpu_us_per_iteration:1710.0 ~group:App.High ~master_slave:true
+    ~description:"alternative-fuel combustion I/O template: 3 arrays, column-wise kernels"
+    (prog "afores"
+       [ arr 0 "fuel" [| n2; n2 |]; arr 1 "oxid" [| n2; n2 |]; arr 2 "temp" [| 320; n2 |] ]
+       [
+         nest ~w:4 "inject" (rect 16 128) [ diag 2; row 0 ];
+         nest ~w:3 "burn" (sq n2) [ col 0; col 1 ];
+         nest ~w:2 "diffuse" (sq n2) [ col 2; col 1 ];
+       ])
+
+let sar =
+  App.make ~name:"sar" ~cpu_us_per_iteration:1190.0 ~group:App.High ~master_slave:true
+    ~description:"synthetic aperture radar kernel: azimuth passes dominate range passes"
+    (prog "sar"
+       [ arr 0 "img" [| n2; n2 |]; arr 1 "rng" [| n2; n2 |]; arr 2 "azi" [| n2; n2 |];
+         arr 3 "out" [| n2; n2 |] ]
+       [
+         nest "range-fft" (sq n2) [ row 0; row 1 ];
+         nest ~w:3 "azimuth-fft" (sq n2) [ col 1; col 2 ];
+         nest ~w:2 "focus" (sq n2) [ col 2; col 3 ];
+         nest ~w:6 "report" (rect 32 128) [ row 3 ];
+       ])
+
+let hf =
+  App.make ~name:"hf" ~cpu_us_per_iteration:5640.0 ~group:App.High
+    ~description:"Hartree-Fock method: column-wise integral and Fock-matrix passes"
+    (prog "hf"
+       [ arr 0 "ints" [| n2s; n2s |]; arr 1 "fock" [| n2s; n2s |]; arr 2 "dens" [| n2s; n2s |];
+         arr 3 "coul" [| n2s; n2s |]; arr 4 "exch" [| n2s; n2s |]; arr 5 "tmp" [| n2s; n2s |];
+         arr 6 "eri1" [| n2; n2 |]; arr 7 "eri2" [| n2; n2 |] ]
+       [
+         nest ~w:2 "eri-gen" (sq n2) [ col 6; col 7 ];
+         nest ~w:3 "fock-build" (sq n2s) [ col 0; col 1; col 2 ];
+         nest ~w:2 "coul-exch" (sq n2s) [ col 3; col 4 ];
+         nest "diag" (sq n2s) [ row 5; row 1 ];
+       ])
+
+let qio =
+  App.make ~name:"qio" ~cpu_us_per_iteration:5020.0 ~group:App.High
+    ~description:"parallel I/O benchmark: whole-file strided read phases"
+    (prog "qio"
+       (List.init 4 (fun i -> arr i (Printf.sprintf "q%d" i) [| n2; n2 |]))
+       [
+         nest ~w:2 "phase1" (sq n2) [ col 0; col 1 ];
+         nest ~w:2 "phase2" (sq n2) [ col 2; col 3 ];
+         nest "phase3" (sq n2) [ col 0; col 2 ];
+       ])
+
+let applu =
+  App.make ~name:"applu" ~cpu_us_per_iteration:14200.0 ~group:App.High
+    ~description:"out-of-core SPECOMP applu: k-major lower/upper triangular sweeps"
+    (prog "applu"
+       [ arr3 0 "rsd"; arr3 1 "u"; arr3 2 "frct"; arr3 3 "flux"; arr3 4 "qs" ]
+       [
+         nest "jacld" (cube3 ()) [ kmaj 0; kmaj 1 ];
+         nest "blts" (cube3 ()) [ kmaj 0; kmaj 2 ];
+         nest "jacu" (cube3 ()) [ jmaj 3; kmaj 4 ];
+         nest "rhs" (cube3 ()) [ row3 1 ];
+       ])
+
+let sp =
+  App.make ~name:"sp" ~cpu_us_per_iteration:9000.0 ~group:App.High
+    ~description:"out-of-core NAS SP: j-/k-major scalar-pentadiagonal sweeps"
+    (prog "sp"
+       [ arr3 0 "lhs"; arr3 1 "rhs"; arr3 2 "rho"; arr3 3 "us"; arr3 4 "speed" ]
+       [
+         nest "x-sweep" (cube3 ()) [ jmaj 0; jmaj 1 ];
+         nest "y-sweep" (cube3 ()) [ kmaj 2; kmaj 3 ];
+         nest "z-sweep" (cube3 ()) [ jmaj 4; kmaj 2 ];
+         nest "tzetar" (cube3 ()) [ kmaj 1; jmaj 4 ];
+       ])
+
+(* Table 2's row order *)
+let all =
+  [ cc_ver_1; s3asim; twer; bt; cc_ver_2; astro; wupwise; contour; mgrid; swim; afores;
+    sar; hf; qio; applu; sp ]
+
+let find name = List.find (fun a -> a.App.name = name) all
+
+let names = List.map (fun a -> a.App.name) all

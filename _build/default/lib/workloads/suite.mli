@@ -1,0 +1,24 @@
+(** The 16 I/O-intensive applications of the paper's evaluation (Table 2).
+
+    The real codes (out-of-core SPECOMP/NAS programs, locally-maintained
+    scientific codes) are proprietary or unavailable; each is modeled as a
+    loop-nest program whose {e access-pattern structure} — row-wise vs
+    column-wise vs strided vs sheared references, reference weights, array
+    counts, and master-slave asymmetry — reproduces the application's
+    behaviour class from the paper:
+
+    {ul
+    {- group 1, no benefit: [cc-ver-1], [s3asim] (already cache-friendly),
+       [twer] (17 arrays with equally-weighted conflicting references);}
+    {- group 2, 8-13%: [bt], [cc-ver-2], [astro], [wupwise], [contour],
+       [mgrid] (partial optimization coverage);}
+    {- group 3, 21-26%: [swim], [afores], [sar], [hf], [qio], [applu], [sp]
+       (dominant cache-hostile patterns, high coverage).}} *)
+
+val all : App.t list
+(** The 16 applications, in Table 2's row order. *)
+
+val find : string -> App.t
+(** @raise Not_found on unknown names. *)
+
+val names : string list

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_core Test_engine Test_linalg Test_poly Test_storage Test_workloads

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Flo_linalg Gauss Hermite Imat Ivec List QCheck QCheck_alcotest Rat

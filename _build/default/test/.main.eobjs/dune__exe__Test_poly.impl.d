@@ -1,0 +1,1 @@
+test/test_poly.ml: Access Affine Alcotest Array Data_space Flo_linalg Flo_poly Hashtbl Hyperplane Imat Iter_space Ivec List Loop_nest Parallelize Program QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Block Clock Disk Dll Fifo Flo_storage Hierarchy Karma List Lru Mq Option Policy QCheck QCheck_alcotest Stats Striping Topology

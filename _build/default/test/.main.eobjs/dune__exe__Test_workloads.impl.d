@@ -1,0 +1,1 @@
+test/test_workloads.ml: Access Alcotest App Array Data_space Flo_linalg Flo_poly Flo_workloads Iter_space List Loop_nest Printf Program Suite

@@ -1,0 +1,10 @@
+let () =
+  Alcotest.run "flopt"
+    [
+      ("linalg", Test_linalg.suite);
+      ("poly", Test_poly.suite);
+      ("storage", Test_storage.suite);
+      ("core", Test_core.suite);
+      ("workloads", Test_workloads.suite);
+      ("engine", Test_engine.suite);
+    ]

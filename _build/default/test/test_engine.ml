@@ -1,0 +1,256 @@
+open Flo_storage
+open Flo_core
+open Flo_workloads
+open Flo_engine
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* a small config so engine tests stay fast *)
+let small_config =
+  Config.with_topology Config.default
+    (Topology.make ~compute_nodes:8 ~io_nodes:4 ~storage_nodes:2 ~block_elems:16
+       ~io_cache_blocks:32 ~storage_cache_blocks:64 ())
+
+let small_app =
+  let d = Flo_poly.Data_space.make [| 64; 64 |] in
+  let space = Flo_poly.Iter_space.make [| (0, 63); (0, 63) |] in
+  App.make ~name:"toy" ~description:"column sweep" ~group:App.High
+    (Flo_poly.Program.make ~name:"toy"
+       [ Flo_poly.Program.declare ~id:0 ~name:"a" d; Flo_poly.Program.declare ~id:1 ~name:"b" d ]
+       [
+         Flo_poly.Loop_nest.make ~weight:2 ~parallel_dim:0 space
+           [ Flo_poly.Access.ji ~array_id:0; Flo_poly.Access.ij ~array_id:1 ];
+       ])
+
+(* ---- Config ----------------------------------------------------------- *)
+
+let test_spec_for () =
+  let spec = Config.spec_for small_config small_app.App.program in
+  check "threads" 8 spec.Internode.threads;
+  check "align = block" 16 spec.Internode.align;
+  check "layers" 3 (Array.length spec.Internode.layers);
+  (* capacities are per-array shares in elements *)
+  check "S1 share" (32 * 16 / 2) spec.Internode.layers.(0).Chunk_pattern.capacity;
+  check "fanout l" 2 spec.Internode.layers.(0).Chunk_pattern.fanout
+
+(* ---- Tracegen ---------------------------------------------------------- *)
+
+let test_streams_collapse () =
+  let nest = List.hd small_app.App.program.Flo_poly.Program.nests in
+  let row_layouts _ = File_layout.Row_major (Flo_poly.Data_space.make [| 64; 64 |]) in
+  let streams =
+    Tracegen.nest_streams ~layouts:row_layouts ~block_elems:16 ~threads:8
+      ~blocks_per_thread:1 nest
+  in
+  check "one stream per thread" 8 (Array.length streams);
+  (* thread 0 iterates i in 0..7, j in 0..63:
+     - array 1 (row access): 8 rows x 4 blocks = 32 block visits, collapsed
+     - array 0 (col access): every (j,i) jumps blocks: 512 visits *)
+  let counts = Array.map Array.length streams in
+  checkb "collapse bounded below" true (counts.(0) >= 512);
+  checkb "collapse effective" true (counts.(0) <= 560)
+
+let test_streams_sample_prefix () =
+  let nest = List.hd small_app.App.program.Flo_poly.Program.nests in
+  let layouts _ = File_layout.Row_major (Flo_poly.Data_space.make [| 64; 64 |]) in
+  let full =
+    Tracegen.nest_streams ~layouts ~block_elems:16 ~threads:8 ~blocks_per_thread:1 nest
+  in
+  let sampled =
+    Tracegen.nest_streams ~layouts ~block_elems:16 ~threads:8 ~blocks_per_thread:1
+      ~sample:4 nest
+  in
+  checkb "prefix shorter" true (Array.length sampled.(0) < Array.length full.(0));
+  (* a prefix: sampled stream is a prefix of the full stream *)
+  let is_prefix =
+    Array.for_all Fun.id
+      (Array.mapi (fun i b -> Block.equal b full.(0).(i)) sampled.(0))
+  in
+  checkb "is a prefix" true is_prefix;
+  let iters = Tracegen.iterations_per_thread ~threads:8 ~blocks_per_thread:1 ~sample:4 nest in
+  check "sampled iterations" 128 iters.(0)
+
+(* ---- Run ----------------------------------------------------------------- *)
+
+let test_run_basic () =
+  let r = Experiment.default_run small_config small_app in
+  checkb "accesses counted" true (r.Run.element_accesses > 0);
+  check "elements = trips x refs" (App.total_accesses small_app) r.Run.element_accesses;
+  checkb "time positive" true (r.Run.elapsed_us > 0.);
+  checkb "requests <= elements" true (r.Run.block_requests <= r.Run.element_accesses);
+  checkb "disk reads <= l2 misses" true (r.Run.disk_reads <= r.Run.l2.Stats.misses);
+  checkb "miss per element sane" true
+    (Run.l1_miss_per_element r >= 0. && Run.l1_miss_per_element r <= 1.)
+
+let test_run_deterministic () =
+  let a = Experiment.default_run small_config small_app in
+  let b = Experiment.default_run small_config small_app in
+  Alcotest.(check (float 0.)) "same elapsed" a.Run.elapsed_us b.Run.elapsed_us;
+  check "same misses" a.Run.l1.Stats.misses b.Run.l1.Stats.misses
+
+let test_inter_beats_default_on_colwise () =
+  let d = Experiment.default_run small_config small_app in
+  let o = Experiment.inter_run small_config small_app in
+  checkb "optimized faster" true (o.Run.elapsed_us < d.Run.elapsed_us);
+  checkb "fewer requests" true (o.Run.block_requests < d.Run.block_requests);
+  checkb "fewer L1 misses" true (o.Run.l1.Stats.misses <= d.Run.l1.Stats.misses)
+
+let test_run_caching_variants () =
+  List.iter
+    (fun caching ->
+      let r = Run.run ~caching ~config:small_config
+                ~layouts:(Experiment.default_layouts small_app) small_app in
+      checkb "runs" true (r.Run.elapsed_us > 0.))
+    [ Run.Lru; Run.Demote; Run.Karma; Run.Custom (Lru.create, Mq.create) ]
+
+let test_run_mapping_permutation () =
+  let m = Experiment.random_mapping ~seed:1 small_config in
+  check "mapping length" 8 (Array.length m);
+  let sorted = List.sort compare (Array.to_list m) in
+  checkb "mapping is a permutation of compute nodes" true (sorted = List.init 8 Fun.id);
+  let r = Experiment.default_run ~mapping:m small_config small_app in
+  checkb "runs with mapping" true (r.Run.elapsed_us > 0.);
+  (* deterministic: same seed, same mapping *)
+  checkb "deterministic" true (Experiment.random_mapping ~seed:1 small_config = m);
+  checkb "different seeds differ" true (Experiment.random_mapping ~seed:2 small_config <> m)
+
+let test_karma_hints () =
+  let streams = [| [| Block.make ~file:0 ~index:3; Block.make ~file:0 ~index:9 |] |] in
+  let hints =
+    Run.karma_hints_of_streams ~io_of_thread:(fun _ -> 0) ~io_nodes:1 [ (2, streams) ]
+  in
+  match hints.(0) with
+  | [ h ] ->
+    check "lo" 3 h.Karma.lo_block;
+    check "hi" 9 h.Karma.hi_block;
+    Alcotest.(check (float 1e-9)) "weighted accesses" 4. h.Karma.accesses
+  | l -> Alcotest.failf "expected one hint, got %d" (List.length l)
+
+(* ---- The headline shapes (one app per group, full scale) ----------------- *)
+
+let full = Config.default
+
+let test_shape_group1 () =
+  let app = Suite.find "cc-ver-1" in
+  let d = Experiment.default_run full app in
+  let o = Experiment.inter_run full app in
+  let n = Experiment.normalized ~base:d o in
+  checkb (Printf.sprintf "cc-ver-1 no benefit (%.3f)" n) true (n > 0.95 && n < 1.08)
+
+let test_shape_group2 () =
+  let app = Suite.find "astro" in
+  let d = Experiment.default_run full app in
+  let o = Experiment.inter_run full app in
+  let n = Experiment.normalized ~base:d o in
+  checkb (Printf.sprintf "astro moderate benefit (%.3f)" n) true (n > 0.84 && n < 0.95)
+
+let test_shape_group3 () =
+  let app = Suite.find "qio" in
+  let d = Experiment.default_run full app in
+  let o = Experiment.inter_run full app in
+  let n = Experiment.normalized ~base:d o in
+  checkb (Printf.sprintf "qio high benefit (%.3f)" n) true (n > 0.70 && n < 0.80)
+
+let test_shape_twer_conflicted () =
+  let app = Suite.find "twer" in
+  let plan = Experiment.inter_plan full app in
+  (* conflicting equal-weight references: conflicted arrays are declined *)
+  checkb "most twer arrays not restructured" true (Optimizer.optimized_count plan = 0)
+
+let test_shape_optimized_fraction () =
+  (* paper: ~72% of all arrays optimized *)
+  let total = ref 0 and optimized = ref 0 in
+  List.iter
+    (fun app ->
+      let plan = Experiment.inter_plan full app in
+      total := !total + Optimizer.total_arrays plan;
+      optimized := !optimized + Optimizer.optimized_count plan)
+    Suite.all;
+  let frac = float_of_int !optimized /. float_of_int !total in
+  checkb (Printf.sprintf "optimized fraction %.2f" frac) true (frac > 0.55 && frac < 0.85)
+
+let suite =
+  [
+    ("config spec_for", `Quick, test_spec_for);
+    ("tracegen collapse", `Quick, test_streams_collapse);
+    ("tracegen prefix sampling", `Quick, test_streams_sample_prefix);
+    ("run basic invariants", `Quick, test_run_basic);
+    ("run deterministic", `Quick, test_run_deterministic);
+    ("inter beats default on column sweeps", `Quick, test_inter_beats_default_on_colwise);
+    ("run caching variants", `Quick, test_run_caching_variants);
+    ("thread mapping permutations", `Quick, test_run_mapping_permutation);
+    ("karma hints from streams", `Quick, test_karma_hints);
+    ("shape: group 1 app", `Slow, test_shape_group1);
+    ("shape: group 2 app", `Slow, test_shape_group2);
+    ("shape: group 3 app", `Slow, test_shape_group3);
+    ("shape: twer declines", `Quick, test_shape_twer_conflicted);
+    ("shape: optimized array fraction", `Slow, test_shape_optimized_fraction);
+  ]
+
+(* ---- readahead & template extensions -------------------------------- *)
+
+let test_readahead_effect () =
+  (* sequential scan: readahead turns most L2 cold misses into hits *)
+  let layouts = Experiment.default_layouts small_app in
+  let without = Run.run ~config:small_config ~layouts small_app in
+  let with_ra = Run.run ~readahead:2 ~config:small_config ~layouts small_app in
+  checkb "no more disk reads with readahead" true
+    (with_ra.Run.disk_reads <= without.Run.disk_reads);
+  checkb "same work" true (with_ra.Run.element_accesses = without.Run.element_accesses)
+
+let test_template_run () =
+  let r = Experiment.inter_template_run small_config small_app in
+  let d = Experiment.default_run small_config small_app in
+  checkb "template layout still beats default on column sweeps" true
+    (r.Run.elapsed_us < d.Run.elapsed_us)
+
+let suite =
+  suite
+  @ [
+      ("storage-node readahead", `Quick, test_readahead_effect);
+      ("template-hierarchy run", `Quick, test_template_run);
+    ]
+
+(* ---- full-suite shape regression (the headline reproduction) ------------- *)
+
+let group_bounds = function
+  | App.No_benefit -> (0.95, 1.08)
+  | App.Moderate -> (0.86, 0.94)
+  | App.High -> (0.70, 0.81)
+
+let test_all_groups () =
+  List.iter
+    (fun app ->
+      let d = Experiment.default_run full app in
+      let o = Experiment.inter_run full app in
+      let n = Experiment.normalized ~base:d o in
+      let lo, hi = group_bounds app.App.group in
+      checkb
+        (Printf.sprintf "%s normalized %.3f in [%.2f, %.2f] (%s)" app.App.name n lo hi
+           (App.group_to_string app.App.group))
+        true
+        (n >= lo && n <= hi))
+    Suite.all
+
+let test_miss_reduction_shape () =
+  (* Table 3's qualitative claim: optimized I/O-cache misses never increase,
+     and drop hard for the high-benefit group *)
+  List.iter
+    (fun app ->
+      let d = Experiment.default_run full app in
+      let o = Experiment.inter_run full app in
+      let ratio = Run.l1_miss_per_element o /. max 1e-12 (Run.l1_miss_per_element d) in
+      checkb (Printf.sprintf "%s L1 miss ratio %.2f <= 1.02" app.App.name ratio) true
+        (ratio <= 1.02);
+      if app.App.group = App.High then
+        checkb (Printf.sprintf "%s high group miss ratio %.2f < 0.5" app.App.name ratio)
+          true (ratio < 0.5))
+    Suite.all
+
+let suite =
+  suite
+  @ [
+      ("shape: all 16 apps in their groups", `Slow, test_all_groups);
+      ("shape: Table 3 miss reductions", `Slow, test_miss_reduction_shape);
+    ]

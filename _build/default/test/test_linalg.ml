@@ -1,0 +1,333 @@
+open Flo_linalg
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ---- Rat ------------------------------------------------------------ *)
+
+let test_rat_normalization () =
+  let r = Rat.make 6 4 in
+  check "num" 3 (Rat.num r);
+  check "den" 2 (Rat.den r);
+  let r = Rat.make (-6) 4 in
+  check "neg num" (-3) (Rat.num r);
+  let r = Rat.make 6 (-4) in
+  check "sign moves to num" (-3) (Rat.num r);
+  check "den positive" 2 (Rat.den r);
+  let z = Rat.make 0 5 in
+  check "zero canonical num" 0 (Rat.num z);
+  check "zero canonical den" 1 (Rat.den z)
+
+let test_rat_div_by_zero () =
+  Alcotest.check_raises "make 1 0" Division_by_zero (fun () -> ignore (Rat.make 1 0));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Rat.inv Rat.zero));
+  Alcotest.check_raises "div zero" Division_by_zero (fun () ->
+      ignore (Rat.div Rat.one Rat.zero))
+
+let test_rat_arith () =
+  let half = Rat.make 1 2 and third = Rat.make 1 3 in
+  checkb "1/2+1/3" true (Rat.equal (Rat.add half third) (Rat.make 5 6));
+  checkb "1/2-1/3" true (Rat.equal (Rat.sub half third) (Rat.make 1 6));
+  checkb "1/2*1/3" true (Rat.equal (Rat.mul half third) (Rat.make 1 6));
+  checkb "1/2 / 1/3" true (Rat.equal (Rat.div half third) (Rat.make 3 2));
+  checkb "neg" true (Rat.equal (Rat.neg half) (Rat.make (-1) 2));
+  checkb "abs" true (Rat.equal (Rat.abs (Rat.make (-1) 2)) half)
+
+let test_rat_compare () =
+  check "1/2 vs 1/3" 1 (Rat.compare (Rat.make 1 2) (Rat.make 1 3));
+  check "equal" 0 (Rat.compare (Rat.make 2 4) (Rat.make 1 2));
+  check "negative" (-1) (Rat.compare (Rat.make (-1) 2) Rat.zero);
+  check "sign pos" 1 (Rat.sign (Rat.make 3 7));
+  check "sign neg" (-1) (Rat.sign (Rat.make (-3) 7));
+  check "sign zero" 0 (Rat.sign Rat.zero)
+
+let test_rat_floor_ceil () =
+  check "floor 7/2" 3 (Rat.floor (Rat.make 7 2));
+  check "floor -7/2" (-4) (Rat.floor (Rat.make (-7) 2));
+  check "ceil 7/2" 4 (Rat.ceil (Rat.make 7 2));
+  check "ceil -7/2" (-3) (Rat.ceil (Rat.make (-7) 2));
+  check "floor integer" 5 (Rat.floor (Rat.of_int 5));
+  check "ceil integer" 5 (Rat.ceil (Rat.of_int 5))
+
+let test_rat_to_int () =
+  check "to_int_exn" 7 (Rat.to_int_exn (Rat.make 14 2));
+  checkb "is_integer" true (Rat.is_integer (Rat.make 14 2));
+  checkb "not integer" false (Rat.is_integer (Rat.make 1 2));
+  Alcotest.check_raises "to_int_exn non-integer"
+    (Invalid_argument "Rat.to_int_exn: not an integer") (fun () ->
+      ignore (Rat.to_int_exn (Rat.make 1 2)))
+
+let test_gcd_lcm () =
+  check "gcd 12 18" 6 (Rat.gcd 12 18);
+  check "gcd 0 5" 5 (Rat.gcd 0 5);
+  check "gcd 0 0" 0 (Rat.gcd 0 0);
+  check "gcd neg" 6 (Rat.gcd (-12) 18);
+  check "lcm 4 6" 12 (Rat.lcm 4 6);
+  check "lcm 0 3" 0 (Rat.lcm 0 3)
+
+(* ---- Ivec ----------------------------------------------------------- *)
+
+let test_ivec_basics () =
+  let v = Ivec.of_list [ 1; -2; 3 ] in
+  check "dim" 3 (Ivec.dim v);
+  check "get" (-2) (Ivec.get v 1);
+  checkb "unit" true (Ivec.equal (Ivec.unit 3 1) [| 0; 1; 0 |]);
+  Alcotest.check_raises "unit out of range" (Invalid_argument "Ivec.unit") (fun () ->
+      ignore (Ivec.unit 3 3));
+  checkb "add" true (Ivec.equal (Ivec.add v [| 1; 1; 1 |]) [| 2; -1; 4 |]);
+  checkb "sub" true (Ivec.equal (Ivec.sub v [| 1; 1; 1 |]) [| 0; -3; 2 |]);
+  checkb "scale" true (Ivec.equal (Ivec.scale 2 v) [| 2; -4; 6 |]);
+  check "dot" 14 (Ivec.dot [| 1; 2; 3 |] [| 3; 4; 1 |]);
+  checkb "is_zero" true (Ivec.is_zero (Ivec.zero 4));
+  checkb "not zero" false (Ivec.is_zero v)
+
+let test_ivec_primitive () =
+  checkb "divides by gcd" true (Ivec.equal (Ivec.primitive [| 4; -6; 8 |]) [| 2; -3; 4 |]);
+  checkb "sign normal" true (Ivec.equal (Ivec.primitive [| -2; 4 |]) [| 1; -2 |]);
+  check "gcd" 2 (Ivec.gcd [| 4; -6; 8 |]);
+  check "gcd zero vec" 0 (Ivec.gcd (Ivec.zero 3));
+  checkb "zero stays" true (Ivec.is_zero (Ivec.primitive (Ivec.zero 3)))
+
+let test_ivec_lex () =
+  checkb "lex lt" true (Ivec.lex_compare [| 1; 2 |] [| 1; 3 |] < 0);
+  checkb "lex eq" true (Ivec.lex_compare [| 1; 2 |] [| 1; 2 |] = 0);
+  checkb "lex gt" true (Ivec.lex_compare [| 2; 0 |] [| 1; 9 |] > 0)
+
+(* ---- Imat ----------------------------------------------------------- *)
+
+let m_ab = Imat.of_rows [ [ 1; 2 ]; [ 3; 4 ] ]
+
+let test_imat_basics () =
+  check "rows" 2 (Imat.rows m_ab);
+  check "cols" 2 (Imat.cols m_ab);
+  check "get" 3 (Imat.get m_ab 1 0);
+  checkb "row" true (Ivec.equal (Imat.row m_ab 0) [| 1; 2 |]);
+  checkb "col" true (Ivec.equal (Imat.col m_ab 1) [| 2; 4 |]);
+  checkb "transpose" true
+    (Imat.equal (Imat.transpose m_ab) (Imat.of_rows [ [ 1; 3 ]; [ 2; 4 ] ]));
+  checkb "identity" true (Imat.equal (Imat.identity 2) (Imat.of_rows [ [ 1; 0 ]; [ 0; 1 ] ]))
+
+let test_imat_mul () =
+  let product = Imat.mul m_ab (Imat.of_rows [ [ 0; 1 ]; [ 1; 0 ] ]) in
+  checkb "mul" true (Imat.equal product (Imat.of_rows [ [ 2; 1 ]; [ 4; 3 ] ]));
+  checkb "mul_vec" true (Ivec.equal (Imat.mul_vec m_ab [| 1; 1 |]) [| 3; 7 |]);
+  checkb "vec_mul" true (Ivec.equal (Imat.vec_mul [| 1; 1 |] m_ab) [| 4; 6 |]);
+  Alcotest.check_raises "dim mismatch" (Invalid_argument "Imat.mul: dimension mismatch")
+    (fun () -> ignore (Imat.mul m_ab (Imat.of_rows [ [ 1; 2 ] ])))
+
+let test_imat_det () =
+  check "det 2x2" (-2) (Imat.det m_ab);
+  check "det identity" 1 (Imat.det (Imat.identity 4));
+  check "det singular" 0 (Imat.det (Imat.of_rows [ [ 1; 2 ]; [ 2; 4 ] ]));
+  check "det 3x3" (-306)
+    (Imat.det (Imat.of_rows [ [ 6; 1; 1 ]; [ 4; -2; 5 ]; [ 2; 8; 7 ] ]));
+  check "det with zero pivot" (-1) (Imat.det (Imat.of_rows [ [ 0; 1 ]; [ 1; 0 ] ]));
+  checkb "unimodular" true (Imat.is_unimodular (Imat.of_rows [ [ 0; 1 ]; [ -1; 0 ] ]));
+  checkb "not unimodular" false (Imat.is_unimodular m_ab)
+
+let test_imat_delete () =
+  let m = Imat.of_rows [ [ 1; 2; 3 ]; [ 4; 5; 6 ] ] in
+  checkb "delete col" true
+    (Imat.equal (Imat.delete_col m 1) (Imat.of_rows [ [ 1; 3 ]; [ 4; 6 ] ]));
+  checkb "delete row" true (Imat.equal (Imat.delete_row m 0) (Imat.of_rows [ [ 4; 5; 6 ] ]));
+  checkb "append cols" true
+    (Imat.equal
+       (Imat.append_cols (Imat.identity 2) m_ab)
+       (Imat.of_rows [ [ 1; 0; 1; 2 ]; [ 0; 1; 3; 4 ] ]))
+
+let test_imat_permutation () =
+  let p = Imat.permutation [ 1; 0 ] in
+  checkb "swap" true (Ivec.equal (Imat.mul_vec p [| 7; 9 |]) [| 9; 7 |]);
+  Alcotest.check_raises "not a permutation" (Invalid_argument "Imat.permutation")
+    (fun () -> ignore (Imat.permutation [ 0; 0 ]))
+
+(* ---- Gauss ----------------------------------------------------------- *)
+
+let test_gauss_rank () =
+  check "rank full" 2 (Gauss.rank m_ab);
+  check "rank singular" 1 (Gauss.rank (Imat.of_rows [ [ 1; 2 ]; [ 2; 4 ] ]));
+  check "rank zero" 0 (Gauss.rank (Imat.of_rows [ [ 0; 0 ]; [ 0; 0 ] ]));
+  check "rank rect" 2 (Gauss.rank (Imat.of_rows [ [ 1; 0; 1 ]; [ 0; 1; 1 ] ]))
+
+let test_gauss_nullspace () =
+  let m = Imat.of_rows [ [ 1; 2 ]; [ 2; 4 ] ] in
+  (match Gauss.nullspace m with
+  | [ v ] ->
+    checkb "in kernel" true (Ivec.is_zero (Imat.mul_vec m v));
+    check "primitive" 1 (Ivec.gcd v)
+  | l -> Alcotest.failf "expected 1 basis vector, got %d" (List.length l));
+  check "trivial kernel" 0 (List.length (Gauss.nullspace (Imat.identity 3)));
+  check "full kernel" 2 (List.length (Gauss.nullspace (Imat.of_rows [ [ 0; 0 ] ])))
+
+let test_gauss_left_nullspace () =
+  let m = Imat.of_rows [ [ 0; 1 ]; [ 0; 1 ] ] in
+  match Gauss.left_nullspace m with
+  | [ v ] -> checkb "left kernel" true (Ivec.is_zero (Imat.vec_mul v m))
+  | l -> Alcotest.failf "expected 1 left basis vector, got %d" (List.length l)
+
+let test_gauss_solve () =
+  (match Gauss.solve m_ab [| 5; 11 |] with
+  | Some x ->
+    checkb "solution" true
+      (Rat.equal x.(0) (Rat.of_int 1) && Rat.equal x.(1) (Rat.of_int 2))
+  | None -> Alcotest.fail "expected a solution");
+  (match Gauss.solve (Imat.of_rows [ [ 1; 2 ]; [ 2; 4 ] ]) [| 1; 3 |] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "inconsistent system should have no solution");
+  match Gauss.solve (Imat.of_rows [ [ 2; 0 ]; [ 0; 4 ] ]) [| 1; 1 |] with
+  | Some x -> checkb "rational solution" true (Rat.equal x.(0) (Rat.make 1 2))
+  | None -> Alcotest.fail "expected rational solution"
+
+let test_gauss_inverse () =
+  let u = Imat.of_rows [ [ 1; 1 ]; [ 0; 1 ] ] in
+  let inv = Gauss.inverse_unimodular u in
+  checkb "u * inv = id" true (Imat.equal (Imat.mul u inv) (Imat.identity 2));
+  Alcotest.check_raises "non-unimodular"
+    (Invalid_argument "Gauss.inverse_unimodular: not unimodular") (fun () ->
+      ignore (Gauss.inverse_unimodular m_ab))
+
+(* ---- Hermite --------------------------------------------------------- *)
+
+let test_egcd () =
+  let g, s, t = Hermite.egcd 12 18 in
+  check "gcd" 6 g;
+  check "bezout" 6 ((s * 12) + (t * 18));
+  let g, s, t = Hermite.egcd (-5) 3 in
+  check "gcd neg" 1 g;
+  check "bezout neg" 1 ((s * -5) + (t * 3));
+  let g, _, _ = Hermite.egcd 0 0 in
+  check "gcd zero" 0 g
+
+let test_row_to_e1 () =
+  let d = [| 3; 5 |] in
+  let u = Hermite.row_to_e1 d in
+  checkb "d.U = e1" true (Ivec.equal (Imat.vec_mul d u) [| 1; 0 |]);
+  checkb "U unimodular" true (Imat.is_unimodular u);
+  Alcotest.check_raises "zero vector" (Invalid_argument "Hermite.row_to_e1: zero vector")
+    (fun () -> ignore (Hermite.row_to_e1 [| 0; 0 |]));
+  Alcotest.check_raises "not primitive"
+    (Invalid_argument "Hermite.row_to_e1: not primitive") (fun () ->
+      ignore (Hermite.row_to_e1 [| 2; 4 |]))
+
+let test_complete_to_unimodular () =
+  let d = [| 0; 1; 0 |] in
+  let m = Hermite.complete_to_unimodular d in
+  checkb "row 0 is d" true (Ivec.equal (Imat.row m 0) d);
+  checkb "unimodular" true (Imat.is_unimodular m);
+  Alcotest.check_raises "bad row"
+    (Invalid_argument "Hermite.complete_to_unimodular: bad row") (fun () ->
+      ignore (Hermite.complete_to_unimodular ~row:2 [| 1; -1 |]))
+
+let test_complete_row_placement () =
+  let d = [| 1; -1 |] in
+  let m = Hermite.complete_to_unimodular ~row:1 d in
+  checkb "row 1 is d" true (Ivec.equal (Imat.row m 1) d);
+  checkb "unimodular" true (Imat.is_unimodular m)
+
+let test_hnf () =
+  let m = Imat.of_rows [ [ 4; 6 ]; [ 2; 4 ] ] in
+  let h, u = Hermite.hermite_normal_form m in
+  checkb "u unimodular" true (Imat.is_unimodular u);
+  checkb "h = m.u" true (Imat.equal h (Imat.mul m u));
+  (* lower triangular with positive pivots *)
+  checkb "upper right zero" true (Imat.get h 0 1 = 0);
+  checkb "pivot positive" true (Imat.get h 0 0 > 0)
+
+(* ---- QCheck properties ---------------------------------------------- *)
+
+let small_int = QCheck.int_range (-20) 20
+
+let nonzero_small = QCheck.map (fun n -> if n = 0 then 1 else n) small_int
+
+let rat_arb =
+  QCheck.map
+    (fun (n, d) -> Rat.make n d)
+    (QCheck.pair small_int nonzero_small)
+
+let prop_rat_add_comm =
+  QCheck.Test.make ~name:"rat add commutative" ~count:200 (QCheck.pair rat_arb rat_arb)
+    (fun (a, b) -> Rat.equal (Rat.add a b) (Rat.add b a))
+
+let prop_rat_mul_inverse =
+  QCheck.Test.make ~name:"rat mul inverse" ~count:200 rat_arb (fun a ->
+      Rat.is_zero a || Rat.equal (Rat.mul a (Rat.inv a)) Rat.one)
+
+let prop_rat_canonical =
+  QCheck.Test.make ~name:"rat always canonical" ~count:200 (QCheck.pair rat_arb rat_arb)
+    (fun (a, b) ->
+      let c = Rat.add a b in
+      Rat.den c > 0 && Rat.gcd (abs (Rat.num c)) (Rat.den c) <= 1)
+
+let vec_arb n = QCheck.array_of_size (QCheck.Gen.return n) small_int
+
+let prop_primitive_gcd_one =
+  QCheck.Test.make ~name:"primitive has gcd 1" ~count:200 (vec_arb 4) (fun v ->
+      QCheck.assume (not (Ivec.is_zero v));
+      Ivec.gcd (Ivec.primitive v) = 1)
+
+let mat_arb n =
+  QCheck.array_of_size (QCheck.Gen.return n) (vec_arb n)
+
+let prop_nullspace_in_kernel =
+  QCheck.Test.make ~name:"nullspace vectors are in kernel" ~count:100 (mat_arb 3) (fun m ->
+      List.for_all (fun v -> Ivec.is_zero (Imat.mul_vec m v)) (Gauss.nullspace m))
+
+let prop_rank_nullity =
+  QCheck.Test.make ~name:"rank + nullity = cols" ~count:100 (mat_arb 3) (fun m ->
+      Gauss.rank m + List.length (Gauss.nullspace m) = Imat.cols m)
+
+let prop_det_transpose =
+  QCheck.Test.make ~name:"det of transpose" ~count:100 (mat_arb 3) (fun m ->
+      Imat.det m = Imat.det (Imat.transpose m))
+
+let prop_complete_unimodular =
+  QCheck.Test.make ~name:"completion is unimodular with d as row 0" ~count:100 (vec_arb 3)
+    (fun v ->
+      QCheck.assume (not (Ivec.is_zero v));
+      let d = Ivec.primitive v in
+      let m = Hermite.complete_to_unimodular d in
+      Imat.is_unimodular m && Ivec.equal (Imat.row m 0) d)
+
+let prop_hnf_unimodular =
+  QCheck.Test.make ~name:"hnf transform is unimodular and consistent" ~count:100
+    (mat_arb 3) (fun m ->
+      let h, u = Hermite.hermite_normal_form m in
+      Imat.is_unimodular u && Imat.equal h (Imat.mul m u))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_rat_add_comm; prop_rat_mul_inverse; prop_rat_canonical; prop_primitive_gcd_one;
+      prop_nullspace_in_kernel; prop_rank_nullity; prop_det_transpose;
+      prop_complete_unimodular; prop_hnf_unimodular;
+    ]
+
+let suite =
+  [
+    ("rat normalization", `Quick, test_rat_normalization);
+    ("rat division by zero", `Quick, test_rat_div_by_zero);
+    ("rat arithmetic", `Quick, test_rat_arith);
+    ("rat compare/sign", `Quick, test_rat_compare);
+    ("rat floor/ceil", `Quick, test_rat_floor_ceil);
+    ("rat to_int", `Quick, test_rat_to_int);
+    ("gcd/lcm", `Quick, test_gcd_lcm);
+    ("ivec basics", `Quick, test_ivec_basics);
+    ("ivec primitive", `Quick, test_ivec_primitive);
+    ("ivec lex compare", `Quick, test_ivec_lex);
+    ("imat basics", `Quick, test_imat_basics);
+    ("imat multiplication", `Quick, test_imat_mul);
+    ("imat determinant", `Quick, test_imat_det);
+    ("imat delete/append", `Quick, test_imat_delete);
+    ("imat permutation", `Quick, test_imat_permutation);
+    ("gauss rank", `Quick, test_gauss_rank);
+    ("gauss nullspace", `Quick, test_gauss_nullspace);
+    ("gauss left nullspace", `Quick, test_gauss_left_nullspace);
+    ("gauss solve", `Quick, test_gauss_solve);
+    ("gauss unimodular inverse", `Quick, test_gauss_inverse);
+    ("hermite egcd", `Quick, test_egcd);
+    ("hermite row_to_e1", `Quick, test_row_to_e1);
+    ("hermite completion", `Quick, test_complete_to_unimodular);
+    ("hermite completion row placement", `Quick, test_complete_row_placement);
+    ("hermite normal form", `Quick, test_hnf);
+  ]
+  @ qsuite

@@ -1,0 +1,118 @@
+open Flo_poly
+open Flo_workloads
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_suite_membership () =
+  check "16 applications" 16 (List.length Suite.all);
+  checkb "table 2 order" true
+    (Suite.names
+    = [ "cc-ver-1"; "s3asim"; "twer"; "bt"; "cc-ver-2"; "astro"; "wupwise"; "contour";
+        "mgrid"; "swim"; "afores"; "sar"; "hf"; "qio"; "applu"; "sp" ]);
+  checkb "find" true ((Suite.find "swim").App.name = "swim");
+  Alcotest.check_raises "unknown app" Not_found (fun () -> ignore (Suite.find "nope"))
+
+let test_group_sizes () =
+  let count g = List.length (List.filter (fun a -> a.App.group = g) Suite.all) in
+  check "group 1" 3 (count App.No_benefit);
+  check "group 2" 6 (count App.Moderate);
+  check "group 3" 7 (count App.High)
+
+let test_master_slave_apps () =
+  let ms = List.filter (fun a -> a.App.master_slave) Suite.all in
+  checkb "cc-ver-2, afores, sar" true
+    (List.sort compare (List.map (fun a -> a.App.name) ms) = [ "afores"; "cc-ver-2"; "sar" ])
+
+let test_array_count_range () =
+  (* paper: 3 (afores) to 17 (twer) disk-resident arrays *)
+  let count name = List.length (Suite.find name).App.program.Program.arrays in
+  check "afores arrays" 3 (count "afores");
+  check "twer arrays" 17 (count "twer");
+  List.iter
+    (fun app ->
+      let n = List.length app.App.program.Program.arrays in
+      checkb (app.App.name ^ " array count in range") true (n >= 3 && n <= 17))
+    Suite.all
+
+let test_programs_validate () =
+  (* Program.make already validated on construction; sanity: every nest's
+     parallel extent supports 64 threads or is an (intentional) master nest *)
+  List.iter
+    (fun app ->
+      List.iter
+        (fun nest ->
+          let ext = Iter_space.extent nest.Loop_nest.space nest.Loop_nest.parallel_dim in
+          checkb
+            (Printf.sprintf "%s/%s parallel extent" app.App.name nest.Loop_nest.name)
+            true
+            (ext >= 16))
+        app.App.program.Program.nests)
+    Suite.all
+
+let test_accesses_in_bounds () =
+  (* every reference's image of its iteration-space corners stays inside the
+     array: catches extent/transpose mismatches *)
+  List.iter
+    (fun app ->
+      let program = app.App.program in
+      List.iter
+        (fun nest ->
+          let bounds = Iter_space.bounds nest.Loop_nest.space in
+          let corners =
+            (* all lo/hi combinations *)
+            Array.fold_left
+              (fun acc (lo, hi) ->
+                List.concat_map (fun v -> [ lo :: v; hi :: v ]) acc)
+              [ [] ] bounds
+            |> List.map (fun l -> Flo_linalg.Ivec.of_list (List.rev l))
+          in
+          List.iter
+            (fun r ->
+              let space = (Program.array_decl program (Access.array_id r)).Program.space in
+              List.iter
+                (fun corner ->
+                  checkb
+                    (Printf.sprintf "%s/%s ref to array %d in bounds" app.App.name
+                       nest.Loop_nest.name (Access.array_id r))
+                    true
+                    (Data_space.mem space (Access.eval r corner)))
+                corners)
+            nest.Loop_nest.refs)
+        app.App.program.Program.nests)
+    Suite.all
+
+let test_opaque_fraction () =
+  (* twer's 8 index-list arrays are the suite's non-affine accesses; together
+     with coverage-declined arrays they land the optimized fraction near the
+     paper's ~72% *)
+  let total = List.fold_left (fun n a -> n + List.length a.App.program.Program.arrays) 0 Suite.all in
+  let opaque =
+    List.fold_left
+      (fun n a ->
+        n + List.length (List.filter (fun d -> d.Program.opaque) a.App.program.Program.arrays))
+      0 Suite.all
+  in
+  check "total arrays" 95 total;
+  check "opaque arrays (twer)" 8 opaque
+
+let test_access_budget () =
+  (* keep simulations tractable: per-app element accesses within sane bounds *)
+  List.iter
+    (fun app ->
+      let n = App.total_accesses app in
+      checkb (Printf.sprintf "%s accesses %d" app.App.name n) true
+        (n >= 100_000 && n <= 4_000_000))
+    Suite.all
+
+let suite =
+  [
+    ("suite membership", `Quick, test_suite_membership);
+    ("benefit group sizes", `Quick, test_group_sizes);
+    ("master-slave apps", `Quick, test_master_slave_apps);
+    ("array count range", `Quick, test_array_count_range);
+    ("programs validate", `Quick, test_programs_validate);
+    ("accesses stay in bounds", `Quick, test_accesses_in_bounds);
+    ("opaque array fraction", `Quick, test_opaque_fraction);
+    ("access budget", `Quick, test_access_budget);
+  ]
