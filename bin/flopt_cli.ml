@@ -4,6 +4,10 @@
      apps                      list the 16-application suite
      plan APP                  show the compiler pass's per-array decisions
      run APP [options]         simulate one execution and print metrics
+                               (--trace FILE writes a JSONL event trace,
+                                --metrics prints per-node breakdowns and
+                                request-latency percentiles)
+     bench APP [options]       repeated runs; report p50/p99 request latency
      layout APP ARRAY_ID       dump a sample of the element->offset mapping
      topology                  print the default scaled Table 1 system *)
 
@@ -56,7 +60,59 @@ let mapping_arg =
        & info [ "mapping" ] ~docv:"SEED"
            ~doc:"Thread-to-node mapping: 0 = identity (Mapping I), 1-3 = Mappings II-IV.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write every simulator event (access/hit/miss/evict/demote/prefetch/disk \
+                 read) as one JSON object per line to $(docv).")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Collect and print per-node cache breakdowns, request-latency \
+                 percentiles and optimizer phase timings.")
+
 let config = Config.default
+
+(* run with the observability layer attached per the --trace/--metrics flags *)
+let observed_run ~trace ~metrics f =
+  let registry = if metrics then Some (Flo_obs.Metrics.create ()) else None in
+  let channel =
+    Option.map
+      (fun path ->
+        try open_out path
+        with Sys_error msg ->
+          Printf.eprintf "flopt: cannot open trace file: %s\n" msg;
+          exit 2)
+      trace
+  in
+  let sink = Option.map Flo_obs.Sink.jsonl channel in
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Option.iter close_out channel)
+      (fun () -> f ?sink ?metrics:registry ())
+  in
+  (result, registry)
+
+let print_metrics registry (result : Run.result) =
+  let node_rows prefix stats =
+    Array.to_list (Array.mapi (fun i s -> (Printf.sprintf "%s%d" prefix i, s)) stats)
+  in
+  Report.print_node_stats ~title:"I/O-node caches (L1)" (node_rows "io" result.Run.l1_nodes);
+  Report.print_node_stats ~title:"storage-node caches (L2)"
+    (node_rows "st" result.Run.l2_nodes);
+  (match Flo_obs.Metrics.find_histogram registry "request_latency_us" with
+  | Some h -> Report.print_latency ~title:"request latency (modeled)" h
+  | None -> ());
+  List.iter
+    (fun (name, labels, value) ->
+      match value with
+      | Flo_obs.Metrics.Histogram h
+        when String.length name > 5 && String.sub name 0 5 = "span." ->
+        ignore labels;
+        Printf.printf "%-28s %s\n" name (Report.latency_summary h)
+      | _ -> ())
+    (Flo_obs.Metrics.to_list registry)
 
 let apps_cmd =
   let doc = "List the 16-application evaluation suite." in
@@ -81,31 +137,85 @@ let plan_cmd =
 
 let run_cmd =
   let doc = "Simulate one execution of an application." in
-  let run app layout_mode caching scope seed =
+  let run app layout_mode caching scope seed trace metrics =
     let mapping = if seed = 0 then None else Some (Experiment.random_mapping ~seed config) in
-    let result =
-      match layout_mode with
-      | Default -> Run.run ?mapping ~caching ~config ~layouts:(Experiment.default_layouts app) app
-      | Inter ->
-        Run.run ?mapping ~caching ~config ~layouts:(Experiment.inter_layouts ~scope config app) app
-      | Reindexed ->
-        let outcome = Experiment.reindex_best config app in
-        Run.run ?mapping ~caching ~config
-          ~layouts:(fun id -> List.assoc id outcome.Reindex.layouts)
-          app
-      | Compmapped ->
-        let outcome = Experiment.compmap_best config app in
-        Run.run ?mapping ~caching
-          ~assigns:(fun i -> List.assoc i outcome.Compmap.choices)
-          ~config ~layouts:(Experiment.default_layouts app) app
+    let result, registry =
+      observed_run ~trace ~metrics (fun ?sink ?metrics () ->
+          match layout_mode with
+          | Default ->
+            Run.run ?mapping ~caching ?sink ?metrics ~config
+              ~layouts:(Experiment.default_layouts app) app
+          | Inter ->
+            Run.run ?mapping ~caching ?sink ?metrics ~config
+              ~layouts:(Experiment.inter_layouts ~scope config app) app
+          | Reindexed ->
+            let outcome = Experiment.reindex_best config app in
+            Run.run ?mapping ~caching ?sink ?metrics ~config
+              ~layouts:(fun id -> List.assoc id outcome.Reindex.layouts)
+              app
+          | Compmapped ->
+            let outcome = Experiment.compmap_best config app in
+            Run.run ?mapping ~caching ?sink ?metrics
+              ~assigns:(fun i -> List.assoc i outcome.Compmap.choices)
+              ~config ~layouts:(Experiment.default_layouts app) app)
     in
     Format.printf "%a@." Run.pp_result result;
     Printf.printf "miss/element: L1 %.2f%%  L2 %.2f%%\n"
       (100. *. Run.l1_miss_per_element result)
-      (100. *. Run.l2_miss_per_element result)
+      (100. *. Run.l2_miss_per_element result);
+    Option.iter (fun r -> print_metrics r result) registry;
+    Option.iter (Printf.printf "trace written to %s\n") trace
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ app_arg $ layout_arg $ caching_arg $ scope_arg $ mapping_arg)
+    Term.(const run $ app_arg $ layout_arg $ caching_arg $ scope_arg $ mapping_arg
+          $ trace_arg $ metrics_arg)
+
+let bench_cmd =
+  let doc =
+    "Run an application repeatedly and report request-latency percentiles \
+     (p50/p90/p99) from the observability histograms."
+  in
+  let reps_arg =
+    Arg.(value & opt int 3
+         & info [ "reps" ] ~docv:"N" ~doc:"Number of repetitions to accumulate.")
+  in
+  let readahead_arg =
+    Arg.(value & opt int 0
+         & info [ "readahead" ] ~docv:"K"
+             ~doc:"Storage-node sequential prefetch depth per disk read.")
+  in
+  let run app layout_mode caching reps readahead =
+    if reps <= 0 then begin
+      prerr_endline "flopt: bench: --reps must be positive";
+      exit 2
+    end;
+    let registry = Flo_obs.Metrics.create () in
+    let layouts =
+      match layout_mode with
+      | Default | Reindexed | Compmapped -> Experiment.default_layouts app
+      | Inter -> Experiment.inter_layouts config app
+    in
+    let elapsed = ref [] in
+    let last = ref None in
+    for _ = 1 to reps do
+      let r = Run.run ~caching ~readahead ~metrics:registry ~config ~layouts app in
+      elapsed := r.Run.elapsed_us :: !elapsed;
+      last := Some r
+    done;
+    Printf.printf "%s: %d rep(s), modeled time %s ms (mean)\n\n" app.App.name reps
+      (Report.ms (Report.mean !elapsed));
+    Option.iter (print_metrics registry) !last;
+    List.iter
+      (fun (name, labels, value) ->
+        match value with
+        | Flo_obs.Metrics.Histogram h when name = "disk_service_us" ->
+          let node = try List.assoc "node" labels with Not_found -> "?" in
+          Printf.printf "disk_service_us{node=%s}     %s\n" node (Report.latency_summary h)
+        | _ -> ())
+      (Flo_obs.Metrics.to_list registry)
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(const run $ app_arg $ layout_arg $ caching_arg $ reps_arg $ readahead_arg)
 
 let layout_cmd =
   let doc = "Dump a sample of the element-to-offset mapping of one array." in
@@ -178,4 +288,7 @@ let topology_cmd =
 let () =
   let doc = "compiler-directed file layout optimization for hierarchical storage (SC'12 reproduction)" in
   let info = Cmd.info "flopt" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ apps_cmd; plan_cmd; run_cmd; layout_cmd; trace_cmd; topology_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ apps_cmd; plan_cmd; run_cmd; bench_cmd; layout_cmd; trace_cmd; topology_cmd ]))

@@ -13,7 +13,8 @@ type plan = {
   decisions : decision list;
 }
 
-let run ?(weighted = true) ?(min_coverage = 0.5) ?(scope = Internode.Both) ~spec program =
+let run ?(weighted = true) ?(min_coverage = 0.5) ?(scope = Internode.Both) ?metrics ~spec
+    program =
   let decide id =
     let decl = Program.array_decl program id in
     let refs = Program.refs_to program id in
@@ -26,9 +27,15 @@ let run ?(weighted = true) ?(min_coverage = 0.5) ?(scope = Internode.Both) ~spec
         partition = None;
       }
     else
-    match Array_partition.solve ~weighted groups with
+    match
+      Flo_obs.Span.with_ ?metrics "optimizer.step1_solve" (fun () ->
+          Array_partition.solve ~weighted groups)
+    with
     | Some partition when partition.Array_partition.coverage > min_coverage ->
-      let layout = Internode.layout_for ~space:decl.Program.space ~partition spec scope in
+      let layout =
+        Flo_obs.Span.with_ ?metrics "optimizer.step2_layout" (fun () ->
+            Internode.layout_for ~space:decl.Program.space ~partition spec scope)
+      in
       {
         array_id = id;
         array_name = decl.Program.name;

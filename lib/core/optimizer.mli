@@ -25,6 +25,7 @@ val run :
   ?weighted:bool ->
   ?min_coverage:float ->
   ?scope:Internode.scope ->
+  ?metrics:Flo_obs.Metrics.t ->
   spec:Internode.spec ->
   Program.t ->
   plan
@@ -35,7 +36,9 @@ val run :
     references is cache-hostile, at worse seek locality);
     declined arrays — like arrays marked [opaque] (touched through
     subscripts the polyhedral front-end cannot analyze) — keep the
-    canonical layout.  [scope] defaults to [Both]. *)
+    canonical layout.  [scope] defaults to [Both].  [metrics] records the
+    host cost of each phase into the span histograms
+    ["span.optimizer.step1_solve"] and ["span.optimizer.step2_layout"]. *)
 
 val layout_of : plan -> int -> File_layout.t
 (** @raise Not_found for unknown array ids. *)

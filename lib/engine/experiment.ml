@@ -8,9 +8,9 @@ let default_layouts app =
     let decl = Flo_poly.Program.array_decl program id in
     File_layout.Row_major decl.Flo_poly.Program.space
 
-let inter_plan ?weighted ?scope config app =
+let inter_plan ?weighted ?scope ?metrics config app =
   let spec = Config.spec_for config app.App.program in
-  Optimizer.run ?weighted ?scope ~spec app.App.program
+  Optimizer.run ?weighted ?scope ?metrics ~spec app.App.program
 
 let inter_layouts ?weighted ?scope config app =
   let plan = inter_plan ?weighted ?scope config app in

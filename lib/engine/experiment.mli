@@ -11,8 +11,10 @@ val default_layouts : App.t -> int -> File_layout.t
 (** Row-major for every array — the paper's "original file layouts". *)
 
 val inter_plan :
-  ?weighted:bool -> ?scope:Internode.scope -> Config.t -> App.t -> Optimizer.plan
-(** Run the compiler pass for an app under a configuration. *)
+  ?weighted:bool -> ?scope:Internode.scope -> ?metrics:Flo_obs.Metrics.t ->
+  Config.t -> App.t -> Optimizer.plan
+(** Run the compiler pass for an app under a configuration.  [metrics]
+    collects the optimizer's span histograms (see {!Flo_core.Optimizer.run}). *)
 
 val inter_layouts :
   ?weighted:bool -> ?scope:Internode.scope -> Config.t -> App.t -> int -> File_layout.t

@@ -34,6 +34,44 @@ let mean = function
   | [] -> 0.
   | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
 
+(* ---- observability rendering ----------------------------------------- *)
+
+let stats_header =
+  [ "node"; "accesses"; "hits"; "misses"; "miss %"; "evict"; "demote"; "prefetch";
+    "pf hits" ]
+
+let stats_row name (s : Flo_storage.Stats.t) =
+  [
+    name;
+    string_of_int s.Flo_storage.Stats.accesses;
+    string_of_int s.Flo_storage.Stats.hits;
+    string_of_int s.Flo_storage.Stats.misses;
+    pct (Flo_storage.Stats.miss_rate s);
+    string_of_int s.Flo_storage.Stats.evictions;
+    string_of_int s.Flo_storage.Stats.demotions;
+    string_of_int s.Flo_storage.Stats.prefetches;
+    string_of_int s.Flo_storage.Stats.prefetch_hits;
+  ]
+
+let print_node_stats ~title named =
+  print_table ~title ~header:stats_header (List.map (fun (n, s) -> stats_row n s) named)
+
+let latency_summary (h : Flo_obs.Histogram.t) =
+  if Flo_obs.Histogram.is_empty h then "no observations"
+  else
+    Printf.sprintf "n=%d  mean=%s us  p50=%s us  p90=%s us  p99=%s us  max=%s us"
+      (Flo_obs.Histogram.count h)
+      (f1 (Flo_obs.Histogram.mean h))
+      (f1 (Flo_obs.Histogram.percentile h 0.5))
+      (f1 (Flo_obs.Histogram.percentile h 0.9))
+      (f1 (Flo_obs.Histogram.percentile h 0.99))
+      (f1 (Flo_obs.Histogram.max_value h))
+
+let print_latency ~title h =
+  print_endline ("== " ^ title ^ " ==");
+  print_endline (latency_summary h);
+  print_newline ()
+
 let geomean = function
   | [] -> 0.
   | l -> exp (List.fold_left (fun acc x -> acc +. log x) 0. l /. float_of_int (List.length l))

@@ -19,3 +19,15 @@ val ms : float -> string
 
 val mean : float list -> float
 val geomean : float list -> float
+
+val stats_header : string list
+val stats_row : string -> Flo_storage.Stats.t -> string list
+(** One table row of counter columns (accesses .. prefetch hits). *)
+
+val print_node_stats : title:string -> (string * Flo_storage.Stats.t) list -> unit
+(** Per-node breakdown table: one labeled row per cache. *)
+
+val latency_summary : Flo_obs.Histogram.t -> string
+(** ["n=... mean=... p50=... p90=... p99=... max=..."] in microseconds. *)
+
+val print_latency : title:string -> Flo_obs.Histogram.t -> unit

@@ -12,6 +12,11 @@ type result = {
   block_requests : int;
   element_accesses : int;
   iterations : int;
+  prefetches : int;
+  prefetch_hits : int;
+  l1_nodes : Stats.t array;
+  l2_nodes : Stats.t array;
+  thread_us : float array;
 }
 
 (* Miss rates comparable with the paper's Tables 2-3 use element accesses
@@ -60,7 +65,8 @@ let karma_hints_of_streams ~io_of_thread ~io_nodes weighted_streams =
     weighted_streams;
   hints
 
-let run ?mapping ?(caching = Lru) ?assigns ?(sample = 1) ?(readahead = 0) ~config ~layouts app =
+let run ?mapping ?(caching = Lru) ?assigns ?(sample = 1) ?(readahead = 0) ?sink ?metrics
+    ~config ~layouts app =
   let topo = config.Config.topology in
   let threads = Topology.threads topo in
   let block_elems = topo.Topology.block_elems in
@@ -68,15 +74,17 @@ let run ?mapping ?(caching = Lru) ?assigns ?(sample = 1) ?(readahead = 0) ~confi
   let program = app.App.program in
   let nests = program.Flo_poly.Program.nests in
   let weighted_streams =
-    List.mapi
-      (fun i nest ->
-        let assign = Option.map (fun f -> f i) assigns in
-        let streams =
-          Tracegen.nest_streams ~layouts ~block_elems ~threads
-            ~blocks_per_thread:config.Config.blocks_per_thread ?assign ~cluster ~sample nest
-        in
-        (nest, streams))
-      nests
+    Flo_obs.Span.with_ ?metrics "tracegen" (fun () ->
+        List.mapi
+          (fun i nest ->
+            let assign = Option.map (fun f -> f i) assigns in
+            let streams =
+              Tracegen.nest_streams ~layouts ~block_elems ~threads
+                ~blocks_per_thread:config.Config.blocks_per_thread ?assign ~cluster
+                ~sample nest
+            in
+            (nest, streams))
+          nests)
   in
   let mapping_fn =
     match mapping with
@@ -86,13 +94,14 @@ let run ?mapping ?(caching = Lru) ?assigns ?(sample = 1) ?(readahead = 0) ~confi
   let hier =
     match caching with
     | Lru -> Hierarchy.create ?mapping ~costs:config.Config.costs
-               ~disk_params:config.Config.disk_params ~readahead topo
+               ~disk_params:config.Config.disk_params ~readahead ?sink ?metrics topo
     | Demote ->
       Hierarchy.create ?mapping ~protocol:Hierarchy.Demote_exclusive
-        ~costs:config.Config.costs ~disk_params:config.Config.disk_params ~readahead topo
+        ~costs:config.Config.costs ~disk_params:config.Config.disk_params ~readahead
+        ?sink ?metrics topo
     | Custom (f1, f2) ->
       Hierarchy.create ?mapping ~l1_factory:f1 ~l2_factory:f2 ~costs:config.Config.costs
-        ~disk_params:config.Config.disk_params ~readahead topo
+        ~disk_params:config.Config.disk_params ~readahead ?sink ?metrics topo
     | Karma ->
       let io_of_thread t = Topology.io_of_compute topo (mapping_fn t) in
       let hints =
@@ -111,7 +120,7 @@ let run ?mapping ?(caching = Lru) ?assigns ?(sample = 1) ?(readahead = 0) ~confi
             Karma.l2_cache plan ~storage_nodes:topo.Topology.storage_nodes)
       in
       Hierarchy.create ?mapping ~l1 ~l2 ~costs:config.Config.costs
-        ~disk_params:config.Config.disk_params ~readahead topo
+        ~disk_params:config.Config.disk_params ~readahead ?sink ?metrics topo
   in
   let block_requests = ref 0 in
   let iterations = ref 0 in
@@ -163,6 +172,7 @@ let run ?mapping ?(caching = Lru) ?assigns ?(sample = 1) ?(readahead = 0) ~confi
           iters
       done)
     weighted_streams;
+  (match sink with Some s -> s.Flo_obs.Sink.flush () | None -> ());
   {
     app = app.App.name;
     elapsed_us = Hierarchy.elapsed_us hier;
@@ -172,6 +182,15 @@ let run ?mapping ?(caching = Lru) ?assigns ?(sample = 1) ?(readahead = 0) ~confi
     block_requests = !block_requests;
     element_accesses = !element_accesses;
     iterations = !iterations;
+    prefetches = Hierarchy.prefetches hier;
+    prefetch_hits = Hierarchy.prefetch_hits hier;
+    l1_nodes =
+      Array.init (Hierarchy.io_nodes hier) (fun i ->
+          Stats.merge [ Hierarchy.l1_stats_of hier i ]);
+    l2_nodes =
+      Array.init (Hierarchy.storage_nodes hier) (fun i ->
+          Stats.merge [ Hierarchy.l2_stats_of hier i ]);
+    thread_us = Hierarchy.thread_clocks_us hier;
   }
 
 let pp_result ppf r =

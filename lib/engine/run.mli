@@ -21,6 +21,11 @@ type result = {
   block_requests : int;  (** requests reaching the hierarchy (post-buffer) *)
   element_accesses : int;
   iterations : int;
+  prefetches : int;  (** readahead insertions at the storage nodes *)
+  prefetch_hits : int;  (** prefetched blocks later demand-touched *)
+  l1_nodes : Stats.t array;  (** per-I/O-node counter snapshots *)
+  l2_nodes : Stats.t array;  (** per-storage-node counter snapshots *)
+  thread_us : float array;  (** per-thread modeled clocks *)
 }
 
 val l1_miss_per_element : result -> float
@@ -35,6 +40,8 @@ val run :
   ?assigns:(int -> Compmap.strategy) ->
   ?sample:int ->
   ?readahead:int ->
+  ?sink:Flo_obs.Sink.t ->
+  ?metrics:Flo_obs.Metrics.t ->
   config:Config.t ->
   layouts:(int -> File_layout.t) ->
   App.t ->
@@ -45,7 +52,11 @@ val run :
     convention, but any combination is allowed).  [sample > 1] runs the
     cheap profile-mode trace used by the search baselines.  [readahead]
     enables storage-node sequential prefetching (see
-    {!Flo_storage.Hierarchy.create}). *)
+    {!Flo_storage.Hierarchy.create}).  [sink]/[metrics] attach the
+    observability layer: structured trace events, the
+    ["request_latency_us"]/["disk_service_us"] histograms, and a
+    ["span.tracegen"] phase timing (defaults: off; simulation results are
+    unaffected).  The sink is flushed before returning. *)
 
 val karma_hints_of_streams :
   io_of_thread:(int -> int) -> io_nodes:int -> (int * Block.t array array) list ->

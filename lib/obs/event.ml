@@ -1,0 +1,38 @@
+type kind = Access | Hit | Miss | Evict | Demote | Prefetch | Disk_read
+type layer = L1 | L2 | Disk
+
+type t = {
+  time_us : float;
+  kind : kind;
+  layer : layer;
+  node : int;
+  thread : int;
+  file : int;
+  block : int;
+  latency_us : float;
+}
+
+let make ~time_us ~kind ~layer ~node ~thread ~file ~block ?(latency_us = 0.) () =
+  { time_us; kind; layer; node; thread; file; block; latency_us }
+
+let kind_to_string = function
+  | Access -> "access"
+  | Hit -> "hit"
+  | Miss -> "miss"
+  | Evict -> "evict"
+  | Demote -> "demote"
+  | Prefetch -> "prefetch"
+  | Disk_read -> "disk_read"
+
+let layer_to_string = function L1 -> "l1" | L2 -> "l2" | Disk -> "disk"
+
+let to_json e =
+  Printf.sprintf
+    {|{"t_us":%.3f,"kind":"%s","layer":"%s","node":%d,"thread":%d,"file":%d,"block":%d,"lat_us":%.3f}|}
+    e.time_us (kind_to_string e.kind) (layer_to_string e.layer) e.node e.thread e.file
+    e.block e.latency_us
+
+let pp ppf e =
+  Format.fprintf ppf "[%10.3f] %-9s %s/%d thread=%d block=%d:%d%s" e.time_us
+    (kind_to_string e.kind) (layer_to_string e.layer) e.node e.thread e.file e.block
+    (if e.latency_us > 0. then Printf.sprintf " lat=%.3fus" e.latency_us else "")

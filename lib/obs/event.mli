@@ -1,0 +1,50 @@
+(** Structured trace events emitted by the storage simulator.
+
+    One event per observable cache/disk action, timestamped with the
+    {e simulated} clock of the requesting thread (microseconds), so a trace
+    replays the modeled timeline, not wall time.  Events carry plain block
+    coordinates ([file], [block]) rather than a [Block.t] to keep this
+    library free of storage-layer dependencies. *)
+
+type kind =
+  | Access  (** a block request arriving at the hierarchy *)
+  | Hit  (** served by the cache of [layer]/[node] *)
+  | Miss  (** not resident at [layer]/[node] *)
+  | Evict  (** a victim left the cache of [layer]/[node] *)
+  | Demote  (** DEMOTE transfer of an L1 victim into a storage cache *)
+  | Prefetch  (** sequential readahead pulled [block] into a storage cache *)
+  | Disk_read  (** disk service; [latency_us] is the modeled service time *)
+
+type layer = L1 | L2 | Disk
+
+type t = {
+  time_us : float;  (** requesting thread's simulated clock at emission *)
+  kind : kind;
+  layer : layer;
+  node : int;  (** I/O-node id for [L1], storage-node id for [L2]/[Disk] *)
+  thread : int;
+  file : int;
+  block : int;
+  latency_us : float;  (** 0 unless meaningful for [kind] *)
+}
+
+val make :
+  time_us:float ->
+  kind:kind ->
+  layer:layer ->
+  node:int ->
+  thread:int ->
+  file:int ->
+  block:int ->
+  ?latency_us:float ->
+  unit ->
+  t
+
+val kind_to_string : kind -> string
+val layer_to_string : layer -> string
+
+val to_json : t -> string
+(** One-line JSON object (no trailing newline) — the JSONL record format
+    documented in [docs/OBSERVABILITY.md]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,115 @@
+type t = {
+  lo : float;
+  gamma : float;
+  log_gamma : float;
+  buckets : int array;
+  mutable total : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create ?(lo = 1.0) ?(gamma = 1.6) ?(buckets = 48) () =
+  if lo <= 0. then invalid_arg "Histogram.create: lo must be positive";
+  if gamma <= 1. then invalid_arg "Histogram.create: gamma must exceed 1";
+  if buckets < 2 then invalid_arg "Histogram.create: need at least 2 buckets";
+  {
+    lo;
+    gamma;
+    log_gamma = log gamma;
+    buckets = Array.make buckets 0;
+    total = 0;
+    sum = 0.;
+    min_v = infinity;
+    max_v = neg_infinity;
+  }
+
+let bucket_count t = Array.length t.buckets
+
+(* ceil of log_gamma (v / lo); monotone in v, so cumulative counts stay
+   consistent even when the float log is off by an ulp at a boundary *)
+let index_of t v =
+  if v <= t.lo then 0
+  else
+    let i = int_of_float (ceil (log (v /. t.lo) /. t.log_gamma)) in
+    min (max 1 i) (bucket_count t - 1)
+
+let add t v =
+  if Float.is_nan v then invalid_arg "Histogram.add: NaN";
+  let i = index_of t v in
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.total
+let sum t = t.sum
+let is_empty t = t.total = 0
+let mean t = if t.total = 0 then 0. else t.sum /. float_of_int t.total
+let min_value t = if t.total = 0 then 0. else t.min_v
+let max_value t = if t.total = 0 then 0. else t.max_v
+
+let bound t i =
+  if i = bucket_count t - 1 then infinity else t.lo *. (t.gamma ** float_of_int i)
+
+let bounds t = Array.init (bucket_count t) (bound t)
+let counts t = Array.copy t.buckets
+
+let percentile t p =
+  if p < 0. || p > 1. then invalid_arg "Histogram.percentile: p outside [0, 1]";
+  if t.total = 0 then 0.
+  else begin
+    let rank = max 1 (min t.total (int_of_float (ceil (p *. float_of_int t.total)))) in
+    let idx = ref (bucket_count t - 1) in
+    let cum = ref 0 in
+    (try
+       for i = 0 to bucket_count t - 1 do
+         cum := !cum + t.buckets.(i);
+         if !cum >= rank then begin
+           idx := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Float.max t.min_v (Float.min (bound t !idx) t.max_v)
+  end
+
+let same_shape a b =
+  a.lo = b.lo && a.gamma = b.gamma && bucket_count a = bucket_count b
+
+let merge a b =
+  if not (same_shape a b) then invalid_arg "Histogram.merge: shape mismatch";
+  {
+    lo = a.lo;
+    gamma = a.gamma;
+    log_gamma = a.log_gamma;
+    buckets = Array.init (bucket_count a) (fun i -> a.buckets.(i) + b.buckets.(i));
+    total = a.total + b.total;
+    sum = a.sum +. b.sum;
+    min_v = Float.min a.min_v b.min_v;
+    max_v = Float.max a.max_v b.max_v;
+  }
+
+let copy t =
+  {
+    t with
+    buckets = Array.copy t.buckets;
+  }
+
+let merge_list = function
+  | [] -> create ()
+  | h :: rest -> List.fold_left merge h rest
+
+let reset t =
+  Array.fill t.buckets 0 (bucket_count t) 0;
+  t.total <- 0;
+  t.sum <- 0.;
+  t.min_v <- infinity;
+  t.max_v <- neg_infinity
+
+let pp ppf t =
+  if t.total = 0 then Format.fprintf ppf "empty"
+  else
+    Format.fprintf ppf "n=%d mean=%.1f min=%.1f p50=%.1f p99=%.1f max=%.1f" t.total
+      (mean t) (min_value t) (percentile t 0.5) (percentile t 0.99) (max_value t)

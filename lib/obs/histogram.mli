@@ -1,0 +1,56 @@
+(** Log-bucketed latency/value histogram.
+
+    Buckets grow geometrically: bucket [0] covers [(-inf, lo]], bucket [i]
+    ([1 <= i < buckets-1]) covers [(lo * gamma^(i-1), lo * gamma^i]], and the
+    last bucket absorbs everything above.  Geometric buckets give a bounded
+    relative error on percentile estimates over many decades of latency
+    (microsecond cache hits to second-scale disk storms) with a few dozen
+    counters, and two histograms of the same shape merge by adding buckets. *)
+
+type t
+
+val create : ?lo:float -> ?gamma:float -> ?buckets:int -> unit -> t
+(** Defaults: [lo = 1.0], [gamma = 1.6], [buckets = 48] — covers roughly
+    [1 us, 3e9 us] before the overflow bucket.
+    @raise Invalid_argument if [lo <= 0], [gamma <= 1] or [buckets < 2]. *)
+
+val add : t -> float -> unit
+(** Record one observation.  @raise Invalid_argument on NaN. *)
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+(** 0 when empty. *)
+
+val min_value : t -> float
+(** Smallest recorded observation; 0 when empty. *)
+
+val max_value : t -> float
+(** Largest recorded observation; 0 when empty. *)
+
+val is_empty : t -> bool
+
+val bucket_count : t -> int
+val bounds : t -> float array
+(** Upper bound of each bucket; the last is [infinity]. Strictly increasing. *)
+
+val counts : t -> int array
+(** Per-bucket observation counts (a copy). *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0, 1]: an upper-bound estimate of the
+    p-quantile — the upper edge of the bucket holding the rank-[ceil(p*n)]
+    observation, clamped to the observed min/max.  0 when empty. *)
+
+val merge : t -> t -> t
+(** Fresh histogram with summed buckets.
+    @raise Invalid_argument if the two shapes (lo, gamma, buckets) differ. *)
+
+val merge_list : t list -> t
+(** Fold of {!merge}; an empty default-shaped histogram for [[]]. *)
+
+val copy : t -> t
+
+val same_shape : t -> t -> bool
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+(** Pluggable event sinks.
+
+    A sink is a pair of closures, so callers pay exactly one indirect call
+    per event — and instrumented code can skip even that by testing
+    {!is_null} first (the convention used by [Flo_storage.Hierarchy]). *)
+
+type t = {
+  emit : Event.t -> unit;
+  flush : unit -> unit;  (** force buffered output out (no-op for most) *)
+}
+
+val null : t
+(** Drops everything.  The default sink everywhere; compare with {!is_null}
+    (physical equality) to skip event construction entirely. *)
+
+val is_null : t -> bool
+
+(** {1 Ring buffer} — keeps the newest [capacity] events in memory. *)
+
+type ring
+
+val create_ring : capacity:int -> ring
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val ring_sink : ring -> t
+val ring_capacity : ring -> int
+val ring_length : ring -> int
+(** Number of retained events, [<= capacity]. *)
+
+val ring_dropped : ring -> int
+(** Events overwritten because the ring was full. *)
+
+val ring_events : ring -> Event.t list
+(** Retained events, oldest first. *)
+
+val ring_clear : ring -> unit
+
+(** {1 Writers and combinators} *)
+
+val jsonl : out_channel -> t
+(** One {!Event.to_json} line per event.  [flush] flushes the channel; the
+    caller owns (and closes) the channel. *)
+
+val callback : (Event.t -> unit) -> t
+
+val tee : t -> t -> t
+(** Emit to both sinks (left first). *)

@@ -1,0 +1,23 @@
+(** Wall-clock phase profiling for the optimizer and trace generation.
+
+    A span measures a named phase and records its duration (microseconds)
+    into the registry histogram ["span.<name>"], so repeated phases build a
+    latency distribution.  With no registry the span is free apart from two
+    clock reads.  The clock is injectable for tests (and because the
+    simulator's own time is simulated — spans measure the {e host} cost of
+    compiler phases, not modeled I/O time). *)
+
+type t
+
+val default_clock : unit -> float
+(** Processor time via [Sys.time], scaled to microseconds. *)
+
+val start : ?metrics:Metrics.t -> ?clock:(unit -> float) -> string -> t
+
+val stop : t -> float
+(** Elapsed microseconds (clamped at 0); records into the registry if one
+    was given.  Calling [stop] twice records twice. *)
+
+val with_ : ?metrics:Metrics.t -> ?clock:(unit -> float) -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span; the duration is recorded even if the thunk
+    raises. *)

@@ -16,13 +16,19 @@ type t = {
   costs : costs;
   file_stride : int;
   readahead : int;
-  mutable prefetches : int;
   clocks : float array;
+  (* readahead-inserted blocks not yet claimed by a demand access, per
+     storage node: feeds Stats.prefetch_hits *)
+  speculative : (Block.t, unit) Hashtbl.t array;
+  sink : Flo_obs.Sink.t;
+  (* resolved once at creation so the hot path never consults the registry *)
+  request_hist : Flo_obs.Histogram.t option;
+  disk_hists : Flo_obs.Histogram.t option array;
 }
 
 let create ?(protocol = Inclusive) ?mapping ?l1 ?l2 ?l1_factory ?l2_factory
     ?(costs = default_costs) ?disk_params ?(file_stride = Striping.default_file_stride)
-    ?(readahead = 0) topo =
+    ?(readahead = 0) ?(sink = Flo_obs.Sink.null) ?metrics topo =
   if readahead < 0 then invalid_arg "Hierarchy.create: negative readahead";
   let threads = Topology.threads topo in
   let mapping =
@@ -72,8 +78,20 @@ let create ?(protocol = Inclusive) ?mapping ?l1 ?l2 ?l1_factory ?l2_factory
     costs;
     file_stride;
     readahead;
-    prefetches = 0;
     clocks = Array.make threads 0.;
+    speculative =
+      Array.init topo.Topology.storage_nodes (fun _ -> Hashtbl.create 64);
+    sink;
+    request_hist =
+      Option.map (fun m -> Flo_obs.Metrics.histogram m "request_latency_us") metrics;
+    disk_hists =
+      Array.init topo.Topology.storage_nodes (fun i ->
+          Option.map
+            (fun m ->
+              Flo_obs.Metrics.histogram m
+                ~labels:[ ("node", string_of_int i) ]
+                "disk_service_us")
+            metrics);
   }
 
 let topology t = t.topo
@@ -84,33 +102,64 @@ let io_node_of_thread t thread =
   Topology.io_of_compute t.topo
     (t.mapping.(thread) mod t.topo.Topology.compute_nodes)
 
+(* All events of one request carry the thread's clock at arrival: a trace
+   orders requests on the simulated timeline without charging the request's
+   own service time to its timestamp. *)
+let emit t ~time_us ~kind ~layer ~node ~thread ?latency_us b =
+  if not (Flo_obs.Sink.is_null t.sink) then
+    t.sink.Flo_obs.Sink.emit
+      (Flo_obs.Event.make ~time_us ~kind ~layer ~node ~thread ~file:(Block.file b)
+         ~block:(Block.index b) ?latency_us ())
+
+(* A block leaving an L2 cache can no longer yield a prefetch hit. *)
+let record_l2_eviction t ~time_us ~thread ~sn victim =
+  Stats.record_eviction t.l2_stats.(sn);
+  Hashtbl.remove t.speculative.(sn) victim;
+  emit t ~time_us ~kind:Flo_obs.Event.Evict ~layer:Flo_obs.Event.L2 ~node:sn ~thread victim
+
 (* Install a block in an L1 cache; under DEMOTE an L1 victim moves to the
    MRU end of its storage node's cache. *)
-let install_l1 t ~io ~thread b =
+let install_l1 t ~time_us ~io ~thread b =
   match t.l1.(io).Policy.insert b with
   | None -> ()
   | Some victim -> (
     Stats.record_eviction t.l1_stats.(io);
+    emit t ~time_us ~kind:Flo_obs.Event.Evict ~layer:Flo_obs.Event.L1 ~node:io ~thread
+      victim;
     match t.protocol with
     | Inclusive -> ()
     | Demote_exclusive ->
       let sn = Striping.storage_node_of ~storage_nodes:t.topo.Topology.storage_nodes victim in
       Stats.record_demotion t.l2_stats.(sn);
+      emit t ~time_us ~kind:Flo_obs.Event.Demote ~layer:Flo_obs.Event.L2 ~node:sn ~thread
+        victim;
       t.clocks.(thread) <- t.clocks.(thread) +. t.costs.demote_us;
       (match t.l2.(sn).Policy.insert victim with
-      | Some _ -> Stats.record_eviction t.l2_stats.(sn)
+      | Some v -> record_l2_eviction t ~time_us ~thread ~sn v
       | None -> ()))
 
 let access t ~thread b =
   let io = io_node_of_thread t thread in
+  let time_us = t.clocks.(thread) in
   let cost = ref t.costs.l1_hit_us in
-  if t.l1.(io).Policy.touch b then Stats.record_hit t.l1_stats.(io)
+  emit t ~time_us ~kind:Flo_obs.Event.Access ~layer:Flo_obs.Event.L1 ~node:io ~thread b;
+  if t.l1.(io).Policy.touch b then begin
+    Stats.record_hit t.l1_stats.(io);
+    emit t ~time_us ~kind:Flo_obs.Event.Hit ~layer:Flo_obs.Event.L1 ~node:io ~thread b
+  end
   else begin
     Stats.record_miss t.l1_stats.(io);
+    emit t ~time_us ~kind:Flo_obs.Event.Miss ~layer:Flo_obs.Event.L1 ~node:io ~thread b;
     let sn = Striping.storage_node_of ~storage_nodes:t.topo.Topology.storage_nodes b in
     cost := !cost +. t.costs.l2_hit_us;
     if t.l2.(sn).Policy.touch b then begin
       Stats.record_hit t.l2_stats.(sn);
+      emit t ~time_us ~kind:Flo_obs.Event.Hit ~layer:Flo_obs.Event.L2 ~node:sn ~thread b;
+      if Hashtbl.mem t.speculative.(sn) b then begin
+        (* first demand touch of a readahead-inserted block *)
+        Hashtbl.remove t.speculative.(sn) b;
+        Stats.record_prefetch_hit t.l2_stats.(sn)
+      end;
       (match t.protocol with
       | Inclusive -> ()
       | Demote_exclusive ->
@@ -120,11 +169,20 @@ let access t ~thread b =
     end
     else begin
       Stats.record_miss t.l2_stats.(sn);
+      emit t ~time_us ~kind:Flo_obs.Event.Miss ~layer:Flo_obs.Event.L2 ~node:sn ~thread b;
+      (* a speculative entry for a block the cache no longer holds is stale *)
+      Hashtbl.remove t.speculative.(sn) b;
       let lba =
         Striping.lba_of ~storage_nodes:t.topo.Topology.storage_nodes
           ~file_stride:t.file_stride b
       in
-      cost := !cost +. Disk.service t.disks.(sn) ~lba;
+      let service = Disk.service t.disks.(sn) ~lba in
+      cost := !cost +. service;
+      (match t.disk_hists.(sn) with
+      | Some h -> Flo_obs.Histogram.add h service
+      | None -> ());
+      emit t ~time_us ~kind:Flo_obs.Event.Disk_read ~layer:Flo_obs.Event.Disk ~node:sn
+        ~thread ~latency_us:service b;
       (* sequential readahead: the storage node speculatively pulls the next
          blocks of the same file into its cache.  The disk transfer overlaps
          with the demand read, so only a fraction of the transfer is charged
@@ -140,10 +198,13 @@ let access t ~thread b =
           if Block.index next / t.topo.Topology.storage_nodes < t.file_stride
              && not (t.l2.(sn).Policy.contains next)
           then begin
-            t.prefetches <- t.prefetches + 1;
+            Stats.record_prefetch t.l2_stats.(sn);
+            Hashtbl.replace t.speculative.(sn) next ();
+            emit t ~time_us ~kind:Flo_obs.Event.Prefetch ~layer:Flo_obs.Event.L2 ~node:sn
+              ~thread next;
             cost := !cost +. (0.2 *. params.Disk.transfer_us);
             match t.l2.(sn).Policy.insert_cold next with
-            | Some _ -> Stats.record_eviction t.l2_stats.(sn)
+            | Some v -> record_l2_eviction t ~time_us ~thread ~sn v
             | None -> ()
           end
         done
@@ -151,17 +212,20 @@ let access t ~thread b =
       match t.protocol with
       | Inclusive ->
         (match t.l2.(sn).Policy.insert b with
-        | Some _ -> Stats.record_eviction t.l2_stats.(sn)
+        | Some v -> record_l2_eviction t ~time_us ~thread ~sn v
         | None -> ())
       | Demote_exclusive ->
         (* DEMOTE-LRU keeps plain LRU for read blocks too, but a block the
            client is about to cache enters at the cold end *)
         (match t.l2.(sn).Policy.insert_cold b with
-        | Some _ -> Stats.record_eviction t.l2_stats.(sn)
+        | Some v -> record_l2_eviction t ~time_us ~thread ~sn v
         | None -> ())
     end;
-    install_l1 t ~io ~thread b
+    install_l1 t ~time_us ~io ~thread b
   end;
+  (match t.request_hist with
+  | Some h -> Flo_obs.Histogram.add h !cost
+  | None -> ());
   t.clocks.(thread) <- t.clocks.(thread) +. !cost
 
 let touch_element t ~thread ~file ~offset =
@@ -172,16 +236,26 @@ let thread_clock_us t thread = t.clocks.(thread)
 
 let elapsed_us t = Array.fold_left max 0. t.clocks
 
+let thread_clocks_us t = Array.copy t.clocks
+
 let add_cpu_us t ~thread us = t.clocks.(thread) <- t.clocks.(thread) +. us
 
 let l1_stats t = Stats.merge (Array.to_list t.l1_stats)
 let l2_stats t = Stats.merge (Array.to_list t.l2_stats)
 let l1_stats_of t i = t.l1_stats.(i)
 let l2_stats_of t i = t.l2_stats.(i)
+let io_nodes t = Array.length t.l1_stats
+let storage_nodes t = Array.length t.l2_stats
 
 let disk_reads t = Array.fold_left (fun acc d -> acc + Disk.reads d) 0 t.disks
 
-let prefetches t = t.prefetches
+let prefetches t =
+  Array.fold_left (fun acc s -> acc + s.Stats.prefetches) 0 t.l2_stats
+
+let prefetch_hits t =
+  Array.fold_left (fun acc s -> acc + s.Stats.prefetch_hits) 0 t.l2_stats
+
+let request_latency t = t.request_hist
 
 let reset t =
   Array.iter (fun (c : Policy.t) -> c.Policy.clear ()) t.l1;
@@ -189,5 +263,5 @@ let reset t =
   Array.iter Stats.reset t.l1_stats;
   Array.iter Stats.reset t.l2_stats;
   Array.iter Disk.reset t.disks;
-  t.prefetches <- 0;
+  Array.iter Hashtbl.reset t.speculative;
   Array.fill t.clocks 0 (Array.length t.clocks) 0.

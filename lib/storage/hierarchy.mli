@@ -16,7 +16,17 @@
 
     KARMA needs no protocol of its own: its partitioned caches (see
     {!Karma}) refuse blocks assigned to the other level, so running them
-    under [Inclusive] yields exclusive hint-based caching. *)
+    under [Inclusive] yields exclusive hint-based caching.
+
+    {2 Observability}
+
+    [create ?sink ?metrics] attaches the observability layer.  Every cache
+    and disk action emits a structured {!Flo_obs.Event.t} to the sink
+    (timestamped with the requesting thread's simulated clock at arrival),
+    and the registry gains a ["request_latency_us"] histogram of per-request
+    modeled cost plus one ["disk_service_us"] histogram per storage node
+    (label [node=i]).  Both default to off and add no work to the hot path
+    when absent; simulation results are identical either way. *)
 
 type protocol = Inclusive | Demote_exclusive
 
@@ -41,6 +51,8 @@ val create :
   ?disk_params:Disk.params ->
   ?file_stride:int ->
   ?readahead:int ->
+  ?sink:Flo_obs.Sink.t ->
+  ?metrics:Flo_obs.Metrics.t ->
   Topology.t ->
   t
 (** [mapping] permutes threads onto compute nodes (Fig. 7(b)); default is
@@ -50,6 +62,7 @@ val create :
     same-node stripe units of the file into the storage cache (cold), with
     a small overlapped transfer charge — the mechanism behind the paper's
     remark that linear layouts improve hardware I/O prefetching.
+    [sink]/[metrics] attach tracing and latency profiling (see above).
     @raise Invalid_argument if array lengths or the mapping mismatch the
     topology. *)
 
@@ -64,6 +77,9 @@ val thread_clock_us : t -> int -> float
 val elapsed_us : t -> float
 (** Max over threads — the modeled parallel execution time. *)
 
+val thread_clocks_us : t -> float array
+(** Copy of every thread's clock — the per-thread breakdown. *)
+
 val add_cpu_us : t -> thread:int -> float -> unit
 (** Charge pure-compute time to a thread's clock. *)
 
@@ -73,8 +89,19 @@ val l1_stats : t -> Stats.t
 val l2_stats : t -> Stats.t
 val l1_stats_of : t -> int -> Stats.t
 val l2_stats_of : t -> int -> Stats.t
+val io_nodes : t -> int
+val storage_nodes : t -> int
 val disk_reads : t -> int
+
 val prefetches : t -> int
+(** Total readahead insertions (sum of per-node {!Stats.t.prefetches}). *)
+
+val prefetch_hits : t -> int
+(** Prefetched blocks later claimed by a demand access. *)
+
+val request_latency : t -> Flo_obs.Histogram.t option
+(** The ["request_latency_us"] histogram when [metrics] was attached. *)
+
 val io_node_of_thread : t -> int -> int
 val reset : t -> unit
 (** Clear caches, stats, clocks and disk state (topology retained). *)

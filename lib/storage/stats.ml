@@ -4,9 +4,20 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable demotions : int;
+  mutable prefetches : int;
+  mutable prefetch_hits : int;
 }
 
-let create () = { accesses = 0; hits = 0; misses = 0; evictions = 0; demotions = 0 }
+let create () =
+  {
+    accesses = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    demotions = 0;
+    prefetches = 0;
+    prefetch_hits = 0;
+  }
 
 let record_hit t =
   t.accesses <- t.accesses + 1;
@@ -18,12 +29,18 @@ let record_miss t =
 
 let record_eviction t = t.evictions <- t.evictions + 1
 let record_demotion t = t.demotions <- t.demotions + 1
+let record_prefetch t = t.prefetches <- t.prefetches + 1
+let record_prefetch_hit t = t.prefetch_hits <- t.prefetch_hits + 1
 
 let miss_rate t =
   if t.accesses = 0 then 0. else float_of_int t.misses /. float_of_int t.accesses
 
 let hit_rate t =
   if t.accesses = 0 then 0. else float_of_int t.hits /. float_of_int t.accesses
+
+let prefetch_hit_rate t =
+  if t.prefetches = 0 then 0.
+  else float_of_int t.prefetch_hits /. float_of_int t.prefetches
 
 let merge l =
   let m = create () in
@@ -33,7 +50,9 @@ let merge l =
       m.hits <- m.hits + s.hits;
       m.misses <- m.misses + s.misses;
       m.evictions <- m.evictions + s.evictions;
-      m.demotions <- m.demotions + s.demotions)
+      m.demotions <- m.demotions + s.demotions;
+      m.prefetches <- m.prefetches + s.prefetches;
+      m.prefetch_hits <- m.prefetch_hits + s.prefetch_hits)
     l;
   m
 
@@ -42,8 +61,12 @@ let reset t =
   t.hits <- 0;
   t.misses <- 0;
   t.evictions <- 0;
-  t.demotions <- 0
+  t.demotions <- 0;
+  t.prefetches <- 0;
+  t.prefetch_hits <- 0
 
 let pp ppf t =
   Format.fprintf ppf "acc=%d hit=%d miss=%d (%.1f%%) evict=%d demote=%d" t.accesses
-    t.hits t.misses (100. *. miss_rate t) t.evictions t.demotions
+    t.hits t.misses (100. *. miss_rate t) t.evictions t.demotions;
+  if t.prefetches > 0 || t.prefetch_hits > 0 then
+    Format.fprintf ppf " prefetch=%d (%d hit)" t.prefetches t.prefetch_hits

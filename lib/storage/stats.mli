@@ -1,4 +1,9 @@
-(** Per-cache access counters. *)
+(** Per-cache access counters.
+
+    [prefetches] counts blocks a storage node pulled in speculatively
+    (sequential readahead); [prefetch_hits] counts those prefetched blocks
+    later claimed by a demand access before being evicted — the useful
+    fraction of readahead work. *)
 
 type t = {
   mutable accesses : int;
@@ -6,6 +11,8 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable demotions : int;
+  mutable prefetches : int;
+  mutable prefetch_hits : int;
 }
 
 val create : unit -> t
@@ -13,11 +20,17 @@ val record_hit : t -> unit
 val record_miss : t -> unit
 val record_eviction : t -> unit
 val record_demotion : t -> unit
+val record_prefetch : t -> unit
+val record_prefetch_hit : t -> unit
 
 val miss_rate : t -> float
 (** [misses / accesses]; 0 when no accesses. *)
 
 val hit_rate : t -> float
+
+val prefetch_hit_rate : t -> float
+(** [prefetch_hits / prefetches]; 0 when nothing was prefetched. *)
+
 val merge : t list -> t
 (** Fresh aggregate of the given counters. *)
 

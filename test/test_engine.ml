@@ -199,17 +199,126 @@ let test_readahead_effect () =
     (with_ra.Run.disk_reads <= without.Run.disk_reads);
   checkb "same work" true (with_ra.Run.element_accesses = without.Run.element_accesses)
 
+let test_prefetch_accounting () =
+  let layouts = Experiment.default_layouts small_app in
+  let r = Run.run ~readahead:2 ~config:small_config ~layouts small_app in
+  checkb "prefetches issued" true (r.Run.prefetches > 0);
+  checkb "some prefetched blocks touched" true (r.Run.prefetch_hits > 0);
+  checkb "hits bounded by prefetches" true (r.Run.prefetch_hits <= r.Run.prefetches);
+  let without = Run.run ~config:small_config ~layouts small_app in
+  check "no prefetches without readahead" 0 without.Run.prefetches;
+  check "no phantom hits" 0 without.Run.prefetch_hits
+
 let test_template_run () =
   let r = Experiment.inter_template_run small_config small_app in
   let d = Experiment.default_run small_config small_app in
   checkb "template layout still beats default on column sweeps" true
     (r.Run.elapsed_us < d.Run.elapsed_us)
 
+(* ---- Observability ---------------------------------------------------- *)
+
+(* the Fig. 6 worked example's shape: 4 threads, 2 I/O caches, 1 storage cache *)
+let fig6_config =
+  Config.with_topology Config.default
+    (Topology.make ~compute_nodes:4 ~io_nodes:2 ~storage_nodes:1 ~block_elems:16
+       ~io_cache_blocks:4 ~storage_cache_blocks:16 ())
+
+let fig6_run ?sink ?metrics () =
+  let mapping = Experiment.random_mapping ~seed:1 fig6_config in
+  Run.run ~mapping ~readahead:2 ?sink ?metrics ~config:fig6_config
+    ~layouts:(Experiment.default_layouts small_app) small_app
+
+let test_sink_leaves_results_unchanged () =
+  let plain = fig6_run () in
+  let ring = Flo_obs.Sink.create_ring ~capacity:200_000 in
+  let observed =
+    fig6_run ~sink:(Flo_obs.Sink.ring_sink ring)
+      ~metrics:(Flo_obs.Metrics.create ()) ()
+  in
+  Alcotest.(check (float 0.)) "identical elapsed" plain.Run.elapsed_us
+    observed.Run.elapsed_us;
+  check "identical l1 misses" plain.Run.l1.Stats.misses observed.Run.l1.Stats.misses;
+  check "identical l2 misses" plain.Run.l2.Stats.misses observed.Run.l2.Stats.misses;
+  check "identical disk reads" plain.Run.disk_reads observed.Run.disk_reads;
+  check "identical requests" plain.Run.block_requests observed.Run.block_requests;
+  checkb "per-thread clocks identical" true (plain.Run.thread_us = observed.Run.thread_us)
+
+let test_run_events_match_counters () =
+  let ring = Flo_obs.Sink.create_ring ~capacity:200_000 in
+  let r = fig6_run ~sink:(Flo_obs.Sink.ring_sink ring) () in
+  check "trace complete" 0 (Flo_obs.Sink.ring_dropped ring);
+  let events = Flo_obs.Sink.ring_events ring in
+  let count kind layer =
+    List.length
+      (List.filter
+         (fun (e : Flo_obs.Event.t) ->
+           e.Flo_obs.Event.kind = kind && e.Flo_obs.Event.layer = layer)
+         events)
+  in
+  let open Flo_obs.Event in
+  check "access events = block requests" r.Run.block_requests (count Access L1);
+  check "l1 hit events" r.Run.l1.Stats.hits (count Hit L1);
+  check "l1 miss events" r.Run.l1.Stats.misses (count Miss L1);
+  check "l2 hit events" r.Run.l2.Stats.hits (count Hit L2);
+  check "l2 miss events" r.Run.l2.Stats.misses (count Miss L2);
+  check "l1 evict events" r.Run.l1.Stats.evictions (count Evict L1);
+  check "l2 evict events" r.Run.l2.Stats.evictions (count Evict L2);
+  check "demote events" r.Run.l2.Stats.demotions (count Demote L2);
+  check "prefetch events" r.Run.prefetches (count Prefetch L2);
+  check "disk read events" r.Run.disk_reads (count Disk_read Disk)
+
+(* golden regression: the full human-readable report for the Fig. 6 example *)
+let render_fig6_report () =
+  let registry = Flo_obs.Metrics.create () in
+  let r = fig6_run ~metrics:registry () in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Format.asprintf "%a@." Run.pp_result r);
+  let node_table title prefix stats =
+    Buffer.add_string buf (Printf.sprintf "\n%s\n" title);
+    Buffer.add_string buf
+      (Report.table ~header:Report.stats_header
+         (Array.to_list
+            (Array.mapi
+               (fun i s -> Report.stats_row (Printf.sprintf "%s%d" prefix i) s)
+               stats)));
+    Buffer.add_char buf '\n'
+  in
+  node_table "I/O-node caches (L1)" "io" r.Run.l1_nodes;
+  node_table "storage-node caches (L2)" "st" r.Run.l2_nodes;
+  (match Flo_obs.Metrics.find_histogram registry "request_latency_us" with
+  | Some h -> Buffer.add_string buf (Printf.sprintf "\nrequest latency: %s\n" (Report.latency_summary h))
+  | None -> Buffer.add_string buf "\nrequest latency: missing\n");
+  Buffer.contents buf
+
+(* regenerate with:
+   FLOPT_GOLDEN_UPDATE=$PWD/test dune exec test/main.exe -- test engine -q *)
+let test_fig6_golden_report () =
+  let actual = render_fig6_report () in
+  let path = "golden_fig6_report.expected" in
+  match Sys.getenv_opt "FLOPT_GOLDEN_UPDATE" with
+  | Some dir ->
+    let oc = open_out_bin (Filename.concat dir path) in
+    output_string oc actual;
+    close_out oc
+  | None ->
+    let expected =
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    Alcotest.(check string) "report matches golden file" expected actual
+
 let suite =
   suite
   @ [
       ("storage-node readahead", `Quick, test_readahead_effect);
+      ("prefetch accounting", `Quick, test_prefetch_accounting);
       ("template-hierarchy run", `Quick, test_template_run);
+      ("sink does not perturb results", `Quick, test_sink_leaves_results_unchanged);
+      ("trace events match counters", `Quick, test_run_events_match_counters);
+      ("fig. 6 golden report", `Quick, test_fig6_golden_report);
     ]
 
 (* ---- full-suite shape regression (the headline reproduction) ------------- *)

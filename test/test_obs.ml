@@ -1,0 +1,384 @@
+open Flo_obs
+open Flo_storage
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* ---- Histogram: units ------------------------------------------------- *)
+
+let test_histogram_basics () =
+  let h = Histogram.create () in
+  checkb "empty" true (Histogram.is_empty h);
+  checkf "empty percentile" 0. (Histogram.percentile h 0.5);
+  List.iter (Histogram.add h) [ 1.; 10.; 100.; 1000.; 10000. ];
+  check "count" 5 (Histogram.count h);
+  checkf "sum" 11111. (Histogram.sum h);
+  checkf "mean" 2222.2 (Histogram.mean h);
+  checkf "min" 1. (Histogram.min_value h);
+  checkf "max" 10000. (Histogram.max_value h);
+  (* p100 clamps to the observed max, p0 to the observed min *)
+  checkf "p100 = max" 10000. (Histogram.percentile h 1.0);
+  checkf "p0 = min" 1. (Histogram.percentile h 0.0);
+  (* the median estimate brackets the true median's bucket *)
+  let p50 = Histogram.percentile h 0.5 in
+  checkb "p50 bracketed" true (p50 >= 100. && p50 < 260.);
+  Histogram.reset h;
+  check "reset" 0 (Histogram.count h);
+  Alcotest.check_raises "bad shape" (Invalid_argument "Histogram.create: lo must be positive")
+    (fun () -> ignore (Histogram.create ~lo:0. ()));
+  Alcotest.check_raises "merge shape mismatch"
+    (Invalid_argument "Histogram.merge: shape mismatch") (fun () ->
+      ignore (Histogram.merge (Histogram.create ()) (Histogram.create ~buckets:8 ())))
+
+let test_histogram_percentile_order () =
+  let h = Histogram.create () in
+  for i = 1 to 1000 do
+    Histogram.add h (float_of_int i)
+  done;
+  let last = ref 0. in
+  List.iter
+    (fun p ->
+      let v = Histogram.percentile h p in
+      checkb (Printf.sprintf "p%.0f nondecreasing" (100. *. p)) true (v >= !last);
+      last := v)
+    [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ]
+
+(* ---- Histogram: properties ------------------------------------------- *)
+
+(* integral samples keep float sums exact, so merge totals compare with = *)
+let samples_arb =
+  QCheck.list_of_size (QCheck.Gen.int_range 0 200)
+    (QCheck.map float_of_int (QCheck.int_range 0 100_000))
+
+let prop_histogram_add_merge_preserves_count =
+  QCheck.Test.make ~name:"histogram add/merge preserves counts" ~count:100
+    (QCheck.pair samples_arb samples_arb) (fun (xs, ys) ->
+      let ha = Histogram.create () and hb = Histogram.create () in
+      List.iter (Histogram.add ha) xs;
+      List.iter (Histogram.add hb) ys;
+      let m = Histogram.merge ha hb in
+      let hall = Histogram.create () in
+      List.iter (Histogram.add hall) (xs @ ys);
+      Histogram.count m = List.length xs + List.length ys
+      && Histogram.count m = Histogram.count hall
+      && Histogram.counts m = Histogram.counts hall
+      && Histogram.sum m = Histogram.sum hall
+      && Array.fold_left ( + ) 0 (Histogram.counts m) = Histogram.count m)
+
+let prop_histogram_bucket_monotone =
+  QCheck.Test.make ~name:"histogram buckets are monotone" ~count:100 samples_arb
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) xs;
+      let bounds = Histogram.bounds h in
+      let strictly_increasing = ref true in
+      for i = 1 to Array.length bounds - 1 do
+        if not (bounds.(i) > bounds.(i - 1)) then strictly_increasing := false
+      done;
+      (* a larger sample never lands in an earlier bucket: cumulative counts
+         up to each bound dominate the true CDF ordering *)
+      let index_of v =
+        let idx = ref (Array.length bounds - 1) in
+        (try
+           Array.iteri
+             (fun i b ->
+               if v <= b then begin
+                 idx := i;
+                 raise Exit
+               end)
+             bounds
+         with Exit -> ());
+        !idx
+      in
+      let sorted = List.sort compare xs in
+      let indices = List.map index_of sorted in
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+        | _ -> true
+      in
+      !strictly_increasing && nondecreasing indices)
+
+(* ---- Metrics: units --------------------------------------------------- *)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "requests" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  check "counter" 5 (Metrics.counter_value c);
+  (* registration is idempotent: same cell comes back *)
+  let c' = Metrics.counter m "requests" in
+  Metrics.incr c';
+  check "same cell" 6 (Metrics.counter_value c);
+  (* labels are order-insensitive dimensions *)
+  let l1 = Metrics.counter m ~labels:[ ("node", "0"); ("layer", "l1") ] "hits" in
+  let l1' = Metrics.counter m ~labels:[ ("layer", "l1"); ("node", "0") ] "hits" in
+  let l2 = Metrics.counter m ~labels:[ ("node", "0"); ("layer", "l2") ] "hits" in
+  Metrics.incr l1;
+  Metrics.incr l1';
+  Metrics.incr l2;
+  check "labeled cell shared" 2 (Metrics.counter_value l1);
+  check "distinct labels distinct" 1 (Metrics.counter_value l2);
+  let g = Metrics.gauge m "depth" in
+  Metrics.set_gauge g 3.5;
+  checkf "gauge" 3.5 (Metrics.gauge_value g);
+  let h = Metrics.histogram m "latency" in
+  Histogram.add h 5.;
+  (match Metrics.find_histogram m "latency" with
+  | Some h' -> check "histogram findable" 1 (Histogram.count h')
+  | None -> Alcotest.fail "histogram not found");
+  check "cardinal" 5 (Metrics.cardinal m);
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Metrics: \"requests\" registered as another kind") (fun () ->
+      ignore (Metrics.gauge m "requests"))
+
+(* ---- Metrics: merge is associative & commutative ----------------------- *)
+
+(* a comparable snapshot of a registry (histograms by bucket contents) *)
+let snapshot m =
+  List.map
+    (fun (name, labels, v) ->
+      ( name,
+        labels,
+        match v with
+        | Metrics.Counter c -> `C c
+        | Metrics.Gauge g -> `G g
+        | Metrics.Histogram h ->
+          `H (Histogram.counts h, Histogram.count h, Histogram.sum h) ))
+    (Metrics.to_list m)
+
+(* registries built from op lists: (kind, name idx, label idx, int value) *)
+let registry_ops_arb =
+  QCheck.list_of_size (QCheck.Gen.int_range 0 30)
+    (QCheck.quad (QCheck.int_range 0 2) (QCheck.int_range 0 2) (QCheck.int_range 0 1)
+       (QCheck.int_range 0 100))
+
+let build_registry ops =
+  let m = Metrics.create () in
+  List.iter
+    (fun (kind, name_i, label_i, v) ->
+      let name = [| "alpha"; "beta"; "gamma" |].(name_i) in
+      let labels = if label_i = 0 then [] else [ ("node", "1") ] in
+      match kind with
+      | 0 -> Metrics.incr ~by:v (Metrics.counter m ~labels ("c." ^ name))
+      | 1 ->
+        let g = Metrics.gauge m ~labels ("g." ^ name) in
+        Metrics.set_gauge g (Float.max (Metrics.gauge_value g) (float_of_int v))
+      | _ -> Histogram.add (Metrics.histogram m ~labels ("h." ^ name)) (float_of_int v))
+    ops;
+  m
+
+let prop_metrics_merge_commutative =
+  QCheck.Test.make ~name:"metrics merge is commutative" ~count:100
+    (QCheck.pair registry_ops_arb registry_ops_arb) (fun (a, b) ->
+      let ma = build_registry a and mb = build_registry b in
+      snapshot (Metrics.merge ma mb) = snapshot (Metrics.merge mb ma))
+
+let prop_metrics_merge_associative =
+  QCheck.Test.make ~name:"metrics merge is associative" ~count:100
+    (QCheck.triple registry_ops_arb registry_ops_arb registry_ops_arb)
+    (fun (a, b, c) ->
+      let ma = build_registry a and mb = build_registry b and mc = build_registry c in
+      snapshot (Metrics.merge ma (Metrics.merge mb mc))
+      = snapshot (Metrics.merge (Metrics.merge ma mb) mc))
+
+let prop_metrics_merge_leaves_inputs () =
+  let ma = build_registry [ (2, 0, 0, 7) ] in
+  let mb = build_registry [ (2, 0, 0, 9) ] in
+  let merged = Metrics.merge ma mb in
+  (* mutating the merged registry must not leak into the inputs *)
+  (match Metrics.find_histogram merged "h.alpha" with
+  | Some h -> Histogram.add h 1.
+  | None -> Alcotest.fail "merged histogram missing");
+  match Metrics.find_histogram ma "h.alpha" with
+  | Some h -> check "input unchanged" 1 (Histogram.count h)
+  | None -> Alcotest.fail "input histogram missing"
+
+(* ---- Event ------------------------------------------------------------- *)
+
+let test_event_json () =
+  let e =
+    Event.make ~time_us:12.5 ~kind:Event.Disk_read ~layer:Event.Disk ~node:3 ~thread:1
+      ~file:0 ~block:42 ~latency_us:300.25 ()
+  in
+  let json = Event.to_json e in
+  checkb "object braces" true
+    (String.length json > 2 && json.[0] = '{' && json.[String.length json - 1] = '}');
+  List.iter
+    (fun needle ->
+      checkb (Printf.sprintf "contains %s" needle) true
+        (let len = String.length needle in
+         let rec scan i =
+           i + len <= String.length json && (String.sub json i len = needle || scan (i + 1))
+         in
+         scan 0))
+    [ {|"kind":"disk_read"|}; {|"layer":"disk"|}; {|"node":3|}; {|"block":42|};
+      {|"lat_us":300.250|}; {|"t_us":12.500|} ]
+
+(* ---- Sink: ring properties --------------------------------------------- *)
+
+let dummy_event i =
+  Event.make ~time_us:(float_of_int i) ~kind:Event.Access ~layer:Event.L1 ~node:0
+    ~thread:0 ~file:0 ~block:i ()
+
+let prop_ring_bounded_and_newest =
+  QCheck.Test.make ~name:"ring sink bounded, keeps newest" ~count:200
+    (QCheck.pair (QCheck.int_range 1 20) (QCheck.int_range 0 100)) (fun (cap, n) ->
+      let ring = Sink.create_ring ~capacity:cap in
+      let sink = Sink.ring_sink ring in
+      for i = 0 to n - 1 do
+        sink.Sink.emit (dummy_event i)
+      done;
+      let events = Sink.ring_events ring in
+      let expected = List.init (min cap n) (fun i -> n - min cap n + i) in
+      Sink.ring_length ring = min cap n
+      && List.length events = min cap n
+      && Sink.ring_dropped ring = max 0 (n - cap)
+      && List.map (fun (e : Event.t) -> e.Event.block) events = expected)
+
+let test_sink_jsonl_and_tee () =
+  let path = Filename.temp_file "flopt_obs" ".jsonl" in
+  let oc = open_out path in
+  let ring = Sink.create_ring ~capacity:8 in
+  let sink = Sink.tee (Sink.jsonl oc) (Sink.ring_sink ring) in
+  for i = 0 to 4 do
+    sink.Sink.emit (dummy_event i)
+  done;
+  sink.Sink.flush ();
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  check "one line per event" 5 (List.length !lines);
+  check "tee reached the ring too" 5 (Sink.ring_length ring);
+  List.iter
+    (fun line ->
+      checkb "line is a json object" true
+        (String.length line > 2 && line.[0] = '{' && line.[String.length line - 1] = '}'))
+    !lines;
+  checkb "null sink is null" true (Sink.is_null Sink.null);
+  checkb "ring sink is not null" false (Sink.is_null (Sink.ring_sink ring))
+
+(* ---- Span --------------------------------------------------------------- *)
+
+let test_span_records () =
+  let m = Metrics.create () in
+  let now = ref 0. in
+  let clock () = !now in
+  let s = Span.start ~metrics:m ~clock "phase" in
+  now := 125.;
+  checkf "elapsed" 125. (Span.stop s);
+  ignore (Span.with_ ~metrics:m ~clock "phase" (fun () -> now := !now +. 75.));
+  match Metrics.find_histogram m "span.phase" with
+  | Some h ->
+    check "two samples" 2 (Histogram.count h);
+    checkf "total" 200. (Histogram.sum h)
+  | None -> Alcotest.fail "span histogram missing"
+
+(* ---- Hierarchy events vs. stats (satellite: trace consistency) ---------- *)
+
+let count_events events pred = List.length (List.filter pred events)
+
+(* valid (io_nodes, storage_nodes) pairs under the even-nesting constraint *)
+let topo_shapes = [ (1, 1); (2, 1); (2, 2); (4, 2) ]
+
+let hierarchy_case_arb =
+  let open QCheck in
+  let gen =
+    Gen.(
+      oneofl topo_shapes >>= fun (io_nodes, storage_nodes) ->
+      oneofl [ 1; 2 ] >>= fun compute_per_io ->
+      int_range 2 4 >>= fun io_cache ->
+      int_range 2 8 >>= fun st_cache ->
+      oneofl [ Hierarchy.Inclusive; Hierarchy.Demote_exclusive ] >>= fun protocol ->
+      int_range 0 2 >>= fun readahead ->
+      list_size (int_range 1 150)
+        (pair (int_range 0 ((io_nodes * compute_per_io) - 1))
+           (pair (int_range 0 2) (int_range 0 19)))
+      >>= fun accesses ->
+      return (io_nodes, storage_nodes, compute_per_io, io_cache, st_cache, protocol,
+              readahead, accesses))
+  in
+  make
+    ~print:(fun (io, st, cpi, ic, sc, proto, ra, accesses) ->
+      Printf.sprintf "io=%d st=%d cpi=%d caches=(%d,%d) proto=%s ra=%d n=%d" io st cpi ic
+        sc
+        (match proto with Hierarchy.Inclusive -> "incl" | _ -> "demote")
+        ra (List.length accesses))
+    gen
+
+let prop_hierarchy_events_match_stats =
+  QCheck.Test.make ~name:"hierarchy events are consistent with stats" ~count:100
+    hierarchy_case_arb
+    (fun (io_nodes, storage_nodes, compute_per_io, io_cache, st_cache, protocol,
+          readahead, accesses) ->
+      let topo =
+        Topology.make ~compute_nodes:(io_nodes * compute_per_io) ~io_nodes ~storage_nodes
+          ~block_elems:4 ~io_cache_blocks:io_cache ~storage_cache_blocks:st_cache ()
+      in
+      let ring = Sink.create_ring ~capacity:65536 in
+      let h = Hierarchy.create ~protocol ~readahead ~sink:(Sink.ring_sink ring) topo in
+      List.iter
+        (fun (thread, (file, index)) ->
+          Hierarchy.access h ~thread (Block.make ~file ~index))
+        accesses;
+      let events = Sink.ring_events ring in
+      checkb "ring large enough for the whole trace" true (Sink.ring_dropped ring = 0);
+      let layer_ok layer stats_of nodes =
+        List.init nodes Fun.id
+        |> List.for_all (fun node ->
+               let s : Stats.t = stats_of node in
+               let c kind =
+                 count_events events (fun (e : Event.t) ->
+                     e.Event.kind = kind && e.Event.layer = layer && e.Event.node = node)
+               in
+               c Event.Hit = s.Stats.hits
+               && c Event.Miss = s.Stats.misses
+               && c Event.Hit + c Event.Miss
+                  = count_events events (fun (e : Event.t) ->
+                        (e.Event.kind = Event.Hit || e.Event.kind = Event.Miss)
+                        && e.Event.layer = layer && e.Event.node = node)
+               && s.Stats.hits + s.Stats.misses = s.Stats.accesses
+               && c Event.Evict = s.Stats.evictions
+               && c Event.Demote = s.Stats.demotions
+               && c Event.Prefetch = s.Stats.prefetches)
+      in
+      let accesses_emitted =
+        count_events events (fun (e : Event.t) -> e.Event.kind = Event.Access)
+      in
+      layer_ok Event.L1 (Hierarchy.l1_stats_of h) io_nodes
+      && layer_ok Event.L2 (Hierarchy.l2_stats_of h) storage_nodes
+      && accesses_emitted = (Hierarchy.l1_stats h).Stats.accesses
+      && count_events events (fun (e : Event.t) -> e.Event.kind = Event.Disk_read)
+         = Hierarchy.disk_reads h
+      && (Hierarchy.l2_stats h).Stats.prefetch_hits = Hierarchy.prefetch_hits h
+      && Hierarchy.prefetch_hits h <= Hierarchy.prefetches h)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_histogram_add_merge_preserves_count;
+      prop_histogram_bucket_monotone;
+      prop_metrics_merge_commutative;
+      prop_metrics_merge_associative;
+      prop_ring_bounded_and_newest;
+      prop_hierarchy_events_match_stats;
+    ]
+
+let suite =
+  [
+    ("histogram basics", `Quick, test_histogram_basics);
+    ("histogram percentile ordering", `Quick, test_histogram_percentile_order);
+    ("metrics registry", `Quick, test_metrics_registry);
+    ("metrics merge copies", `Quick, prop_metrics_merge_leaves_inputs);
+    ("event json encoding", `Quick, test_event_json);
+    ("jsonl + tee sinks", `Quick, test_sink_jsonl_and_tee);
+    ("span phase timing", `Quick, test_span_records);
+  ]
+  @ qsuite

@@ -337,6 +337,27 @@ let test_hierarchy_validation () =
     (Invalid_argument "Hierarchy.create: mapping target out of range") (fun () ->
       ignore (Hierarchy.create ~mapping:[| 0; 1; 2; 9 |] tiny_topology))
 
+let test_hierarchy_prefetch_hits () =
+  let h = Hierarchy.create ~readahead:2 tiny_topology in
+  Hierarchy.access h ~thread:0 (b 0);
+  (* the miss on b0 read the disk and speculatively pulled b1, b2 into L2 *)
+  check "two blocks prefetched" 2 (Hierarchy.prefetches h);
+  check "no hits yet" 0 (Hierarchy.prefetch_hits h);
+  Hierarchy.access h ~thread:0 (b 1);
+  check "first prefetched block touched" 1 (Hierarchy.prefetch_hits h);
+  check "served without a new disk read" 1 (Hierarchy.disk_reads h);
+  Hierarchy.access h ~thread:0 (b 2);
+  check "second prefetched block touched" 2 (Hierarchy.prefetch_hits h);
+  (* re-touching a block counts once: the speculative tag is consumed *)
+  Hierarchy.access h ~thread:2 (b 2);
+  check "tag consumed on first touch" 2 (Hierarchy.prefetch_hits h);
+  let l2 = Hierarchy.l2_stats h in
+  check "stats mirror the accessors" l2.Stats.prefetch_hits (Hierarchy.prefetch_hits h);
+  checkb "hits bounded by prefetches" true
+    (Hierarchy.prefetch_hits h <= Hierarchy.prefetches h);
+  Hierarchy.reset h;
+  check "reset clears prefetch counters" 0 (Hierarchy.prefetches h)
+
 (* ---- QCheck: LRU model conformance ------------------------------------ *)
 
 (* Compare the O(1) LRU against a naive reference implementation. *)
@@ -423,5 +444,6 @@ let suite =
     ("hierarchy demote protocol", `Quick, test_hierarchy_demote);
     ("hierarchy elapsed/reset", `Quick, test_hierarchy_elapsed_and_reset);
     ("hierarchy validation", `Quick, test_hierarchy_validation);
+    ("hierarchy prefetch hits", `Quick, test_hierarchy_prefetch_hits);
   ]
   @ qsuite
