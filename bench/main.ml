@@ -491,6 +491,56 @@ let latency () =
      \ even as the number of requests and total time drop sharply)
 "
 
+(* ---- Trace analysis: the Step I/II objectives, observed ---------------------------------- *)
+
+let analysis () =
+  let module A = Flo_analysis.Analyzer in
+  let analyze layouts app =
+    let a = A.create () in
+    ignore (Run.run ~config ~layouts ~sink:(A.sink a) app);
+    a
+  in
+  let cross = ref [] and conflicts = ref [] in
+  let rows =
+    List.map
+      (fun app ->
+        let d = analyze (Experiment.default_layouts app) app in
+        let o = analyze (Experiment.inter_layouts config app) app in
+        let dc = A.cross_shared_at d Flo_obs.Event.L2
+        and oc = A.cross_shared_at o Flo_obs.Event.L2 in
+        let df = A.conflicts_at d Flo_obs.Event.L2
+        and off = A.conflicts_at o Flo_obs.Event.L2 in
+        let p50 a' =
+          let h = A.reuse_histogram_at a' Flo_obs.Event.L1 in
+          if Flo_obs.Histogram.is_empty h then "-"
+          else Report.f1 (Flo_obs.Histogram.percentile h 0.5)
+        in
+        if dc > 0 then cross := (float_of_int oc /. float_of_int dc) :: !cross;
+        if df > 0 then conflicts := (float_of_int off /. float_of_int df) :: !conflicts;
+        [
+          app.App.name;
+          string_of_int dc; string_of_int oc;
+          string_of_int df; string_of_int off;
+          p50 d; p50 o;
+        ])
+      apps
+  in
+  Report.print_table
+    ~title:
+      "Trace analysis: L2 cross-thread sharing, eviction conflicts, L1 reuse p50 \
+       (default vs inter-node layout)"
+    ~header:
+      [ "application"; "shared (def)"; "shared (opt)"; "confl (def)"; "confl (opt)";
+        "reuse p50 (def)"; "reuse p50 (opt)" ]
+    rows;
+  Printf.printf
+    "cross-thread shared blocks, optimized/default mean ratio: %.3f over %d apps with sharing\n"
+    (Report.mean !cross) (List.length !cross);
+  if !conflicts <> [] then
+    Printf.printf "eviction conflicts, optimized/default mean ratio: %.3f over %d apps\n"
+      (Report.mean !conflicts) (List.length !conflicts);
+  print_newline ()
+
 (* ---- C1: compile-time cost (bechamel) -------------------------------------------------- *)
 
 let compile_bench () =
@@ -527,7 +577,7 @@ let sections =
     ("fig7f", fig7f); ("fig7g", fig7g); ("fig7h", fig7h);
     ("ablation-weights", ablation_weights); ("ablation-pattern", ablation_pattern);
     ("ablation-template", ablation_template); ("amortization", amortization);
-    ("prefetch", prefetch); ("latency", latency);
+    ("prefetch", prefetch); ("latency", latency); ("analysis", analysis);
     ("compile-bench", compile_bench);
   ]
 

@@ -8,6 +8,11 @@
                                 --metrics prints per-node breakdowns and
                                 request-latency percentiles)
      bench APP [options]       repeated runs; report p50/p99 request latency
+     analyze TRACE [options]   trace analytics: reuse-distance histograms,
+                               inter-thread sharing/conflict matrices,
+                               per-thread distinct-block counts
+                               (--perfetto OUT.json exports a Chrome
+                                trace-event file for ui.perfetto.dev)
      layout APP ARRAY_ID       dump a sample of the element->offset mapping
      topology                  print the default scaled Table 1 system *)
 
@@ -74,23 +79,22 @@ let metrics_arg =
 
 let config = Config.default
 
-(* run with the observability layer attached per the --trace/--metrics flags *)
+(* run with the observability layer attached per the --trace/--metrics
+   flags; the trace file is flushed and closed even if the run raises
+   (Sink.with_jsonl), so a crashed simulation still leaves a parseable
+   JSONL prefix *)
 let observed_run ~trace ~metrics f =
   let registry = if metrics then Some (Flo_obs.Metrics.create ()) else None in
-  let channel =
-    Option.map
-      (fun path ->
-        try open_out path
-        with Sys_error msg ->
-          Printf.eprintf "flopt: cannot open trace file: %s\n" msg;
-          exit 2)
-      trace
-  in
-  let sink = Option.map Flo_obs.Sink.jsonl channel in
   let result =
-    Fun.protect
-      ~finally:(fun () -> Option.iter close_out channel)
-      (fun () -> f ?sink ?metrics:registry ())
+    match trace with
+    | None -> f ?sink:None ?metrics:registry ()
+    | Some path -> (
+      try
+        Flo_obs.Sink.with_jsonl path (fun sink ->
+            f ?sink:(Some sink) ?metrics:registry ())
+      with Sys_error msg ->
+        Printf.eprintf "flopt: cannot write trace file: %s\n" msg;
+        exit 2)
   in
   (result, registry)
 
@@ -217,6 +221,55 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(const run $ app_arg $ layout_arg $ caching_arg $ reps_arg $ readahead_arg)
 
+let analyze_cmd =
+  let doc =
+    "Analyze a JSONL event trace: block reuse-distance histograms per cache, \
+     inter-thread sharing and eviction-conflict matrices per shared cache, \
+     per-thread distinct-block counts (the paper's Step I/II objectives), and \
+     optional Perfetto export."
+  in
+  let trace_pos =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE" ~doc:"JSONL trace written by $(b,flopt run --trace).")
+  in
+  let perfetto_arg =
+    Arg.(value & opt (some string) None
+         & info [ "perfetto" ] ~docv:"OUT"
+             ~doc:"Also write the trace as Chrome trace-event JSON to $(docv) — open \
+                   it in ui.perfetto.dev (per-thread request timelines colored by \
+                   L1-hit/L2-hit/disk outcome).")
+  in
+  let max_matrix_arg =
+    Arg.(value & opt int 16
+         & info [ "max-matrix" ] ~docv:"N"
+             ~doc:"Print full sharing/conflict matrices only up to $(docv) threads \
+                   (totals are always printed).")
+  in
+  let run path perfetto max_matrix =
+    let keep_events = perfetto <> None in
+    match Flo_analysis.Analyzer.load_file ~keep_events path with
+    | Error msg ->
+      Printf.eprintf "flopt: analyze: %s: %s\n" path msg;
+      exit 2
+    | Ok a ->
+      Report.print_analysis ~max_matrix a;
+      Option.iter
+        (fun out ->
+          let oc =
+            try open_out out
+            with Sys_error msg ->
+              Printf.eprintf "flopt: cannot write %s: %s\n" out msg;
+              exit 2
+          in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> Flo_analysis.Perfetto.write oc (Flo_analysis.Analyzer.events a));
+          Printf.printf "perfetto trace written to %s (open in ui.perfetto.dev)\n" out)
+        perfetto
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ trace_pos $ perfetto_arg $ max_matrix_arg)
+
 let layout_cmd =
   let doc = "Dump a sample of the element-to-offset mapping of one array." in
   let array_arg =
@@ -291,4 +344,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ apps_cmd; plan_cmd; run_cmd; bench_cmd; layout_cmd; trace_cmd; topology_cmd ]))
+          [ apps_cmd; plan_cmd; run_cmd; bench_cmd; analyze_cmd; layout_cmd; trace_cmd;
+            topology_cmd ]))

@@ -1,0 +1,26 @@
+(** Per-thread, per-file distinct-block counts — the paper's Step I
+    objective (Eq. 4): how many distinct blocks of each file every thread
+    drags through the hierarchy.  Feed the trace's [Access] events. *)
+
+type t
+
+val create : unit -> t
+val touch : t -> thread:int -> file:int -> block:int -> unit
+
+val requests : t -> int
+(** Touches recorded (block requests, not distinct blocks). *)
+
+val distinct : t -> thread:int -> file:int -> int
+(** 0 for a (thread, file) pair never seen. *)
+
+val total_distinct : t -> thread:int -> int
+(** Sum of {!distinct} over all files, per thread. *)
+
+val threads : t -> int
+(** [1 + ] the largest thread id seen (0 when empty). *)
+
+val files : t -> int list
+(** File ids seen, ascending. *)
+
+val per_thread : t -> (int * (int * int) list) list
+(** [(thread, [(file, distinct); ...])], both levels ascending. *)

@@ -1,0 +1,16 @@
+(** Chrome trace-event JSON export ([ui.perfetto.dev],
+    [chrome://tracing]).
+
+    Renders a simulator trace as two process groups: per-thread request
+    timelines (one complete slice per block request, colored by outcome —
+    L1 hit, L2 hit, or disk read — and spanning until the thread's next
+    request), and per-cache tracks carrying evictions, demotions,
+    prefetches and disk reads as instant events.  Timestamps are the
+    trace's simulated microseconds. *)
+
+val json_of_events : Flo_obs.Event.t list -> string
+(** The whole trace as one JSON document ([{"traceEvents": [...], ...}]).
+    Events must be in trace (emission) order, as read from a JSONL file or
+    a ring sink. *)
+
+val write : out_channel -> Flo_obs.Event.t list -> unit

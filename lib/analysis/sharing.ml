@@ -1,0 +1,111 @@
+(* Inter-thread block sharing and eviction conflicts for one shared cache.
+
+   Sharing is set-intersection cardinality over the per-block toucher sets;
+   conflicts attribute each eviction to the pair (evictor, first thread to
+   miss on the victim afterwards).  Both are computed incrementally from the
+   cache's event stream in O(1) amortized per event (matrices are
+   materialized on demand). *)
+
+module Iset = Set.Make (Int)
+
+type t = {
+  touched : (int * int, Iset.t ref) Hashtbl.t;  (* (file, block) -> toucher set *)
+  pending : (int * int, int) Hashtbl.t;  (* victim -> evicting thread *)
+  conflicts : (int * int, int) Hashtbl.t;  (* (evictor, sufferer) -> count *)
+  mutable max_thread : int;
+  mutable touches : int;
+  mutable evictions : int;
+}
+
+let create () =
+  {
+    touched = Hashtbl.create 256;
+    pending = Hashtbl.create 64;
+    conflicts = Hashtbl.create 64;
+    max_thread = -1;
+    touches = 0;
+    evictions = 0;
+  }
+
+let note_thread t thread =
+  if thread < 0 then invalid_arg "Sharing: negative thread id";
+  if thread > t.max_thread then t.max_thread <- thread
+
+let touch t ~thread ~file ~block ~hit =
+  note_thread t thread;
+  t.touches <- t.touches + 1;
+  let key = (file, block) in
+  (match Hashtbl.find_opt t.pending key with
+  | Some evictor ->
+    (* first touch after an eviction resolves it: a *miss* by another
+       thread means the evictor threw out a block that thread still
+       needed; a hit means something (prefetch, demote) re-installed the
+       block first and the eviction hurt nobody *)
+    Hashtbl.remove t.pending key;
+    if (not hit) && thread <> evictor then
+      Hashtbl.replace t.conflicts (evictor, thread)
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.conflicts (evictor, thread)))
+  | None -> ());
+  match Hashtbl.find_opt t.touched key with
+  | Some set -> if not (Iset.mem thread !set) then set := Iset.add thread !set
+  | None -> Hashtbl.add t.touched key (ref (Iset.singleton thread))
+
+let evict t ~thread ~file ~block =
+  note_thread t thread;
+  t.evictions <- t.evictions + 1;
+  (* an unresolved earlier eviction of the same block stays unresolved:
+     nobody asked for the block in between, so it charged no conflict *)
+  Hashtbl.replace t.pending (file, block) thread
+
+let threads t = t.max_thread + 1
+let touches t = t.touches
+let evictions t = t.evictions
+let distinct_blocks t = Hashtbl.length t.touched
+
+let shared t =
+  let n = threads t in
+  let m = Array.make_matrix n n 0 in
+  Hashtbl.iter
+    (fun _ set ->
+      let members = Iset.elements !set in
+      List.iter
+        (fun i -> List.iter (fun j -> m.(i).(j) <- m.(i).(j) + 1) members)
+        members)
+    t.touched;
+  m
+
+let conflicts t =
+  let n = threads t in
+  let m = Array.make_matrix n n 0 in
+  Hashtbl.iter (fun (e, s) c -> m.(e).(s) <- m.(e).(s) + c) t.conflicts;
+  m
+
+let distinct_of t ~thread =
+  Hashtbl.fold
+    (fun _ set acc -> if Iset.mem thread !set then acc + 1 else acc)
+    t.touched 0
+
+let cross_shared t =
+  Hashtbl.fold
+    (fun _ set acc ->
+      let k = Iset.cardinal !set in
+      acc + (k * (k - 1) / 2))
+    t.touched 0
+
+let shared_blocks t =
+  Hashtbl.fold
+    (fun _ set acc -> if Iset.cardinal !set > 1 then acc + 1 else acc)
+    t.touched 0
+
+let total_conflicts t = Hashtbl.fold (fun _ c acc -> acc + c) t.conflicts 0
+
+let active_threads t =
+  let seen = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ set -> Iset.iter (fun th -> Hashtbl.replace seen th ()) !set)
+    t.touched;
+  Hashtbl.iter (fun (e, s) _ ->
+      Hashtbl.replace seen e ();
+      Hashtbl.replace seen s ())
+    t.conflicts;
+  List.sort compare (Hashtbl.fold (fun th () acc -> th :: acc) seen [])

@@ -1,0 +1,55 @@
+(** Inter-thread sharing and eviction-conflict matrices for one shared
+    cache — the observable counterpart of the paper's Step II objective
+    (minimize the blocks thread pairs co-touch inside a shared cache).
+
+    Feed the cache's lookup stream through {!touch} and its evictions
+    through {!evict}, in trace order. *)
+
+type t
+
+val create : unit -> t
+
+val touch : t -> thread:int -> file:int -> block:int -> hit:bool -> unit
+(** One lookup ([hit = true] for a cache hit, [false] for a miss) of
+    [(file, block)] at this cache on behalf of [thread].
+    @raise Invalid_argument on a negative thread id. *)
+
+val evict : t -> thread:int -> file:int -> block:int -> unit
+(** The cache evicted [(file, block)] while serving a request of
+    [thread]. *)
+
+val threads : t -> int
+(** [1 + ] the largest thread id seen; matrix dimensions. *)
+
+val touches : t -> int
+val evictions : t -> int
+val distinct_blocks : t -> int
+
+val shared : t -> int array array
+(** [shared.(i).(j)] = number of distinct blocks both thread [i] and thread
+    [j] touched at this cache.  Symmetric by construction; the diagonal
+    [shared.(i).(i)] is thread [i]'s distinct-block count (the paper's
+    Step I / Eq. 4 quantity, restricted to this cache's stream). *)
+
+val conflicts : t -> int array array
+(** [conflicts.(e).(s)] = evictions triggered by thread [e] whose victim's
+    {e next} lookup at this cache was a miss by thread [s <> e] — i.e. [e]
+    threw out a block [s] still needed.  Each eviction charges at most one
+    conflict; evictions whose victim is first re-installed (prefetch,
+    demote) or re-missed by the evictor itself charge none. *)
+
+val distinct_of : t -> thread:int -> int
+(** Distinct blocks [thread] touched here ([= shared.(t).(t)]). *)
+
+val cross_shared : t -> int
+(** Sum over unordered thread pairs [i < j] of [shared.(i).(j)] — the
+    scalar the optimized layout should shrink. *)
+
+val shared_blocks : t -> int
+(** Distinct blocks touched by two or more threads. *)
+
+val total_conflicts : t -> int
+
+val active_threads : t -> int list
+(** Thread ids that touched a block here or took part in a conflict,
+    ascending — the interesting rows/columns of the matrices. *)

@@ -75,3 +75,142 @@ let print_latency ~title h =
 let geomean = function
   | [] -> 0.
   | l -> exp (List.fold_left (fun acc x -> acc +. log x) 0. l /. float_of_int (List.length l))
+
+(* ---- trace-analysis rendering ----------------------------------------- *)
+
+let matrix ~label m =
+  let n = Array.length m in
+  table
+    ~header:("" :: List.init n label)
+    (Array.to_list
+       (Array.mapi
+          (fun i row -> label i :: Array.to_list (Array.map string_of_int row))
+          m))
+
+(* the rows/columns of [m] selected by [idx] (e.g. only active threads) *)
+let submatrix ~label idx m =
+  table
+    ~header:("" :: List.map label idx)
+    (List.map
+       (fun i -> label i :: List.map (fun j -> string_of_int m.(i).(j)) idx)
+       idx)
+
+let thread_label i = Printf.sprintf "t%d" i
+
+let reuse_summary_row name (r : Flo_analysis.Reuse.t) =
+  let h = Flo_analysis.Reuse.histogram r in
+  let p q = if Flo_obs.Histogram.is_empty h then "-" else f1 (Flo_obs.Histogram.percentile h q) in
+  [
+    name;
+    string_of_int (Flo_analysis.Reuse.touches r);
+    string_of_int (Flo_analysis.Reuse.distinct_blocks r);
+    string_of_int (Flo_analysis.Reuse.cold_touches r);
+    string_of_int (Flo_analysis.Reuse.reuses r);
+    p 0.5;
+    p 0.9;
+    p 0.99;
+    (if Flo_obs.Histogram.is_empty h then "-" else f1 (Flo_obs.Histogram.max_value h));
+  ]
+
+let reuse_header =
+  [ "cache"; "touches"; "distinct"; "cold"; "reuses"; "p50"; "p90"; "p99"; "max" ]
+
+let analysis_summary ?(max_matrix = 16) a =
+  let module A = Flo_analysis.Analyzer in
+  let module S = Flo_analysis.Sharing in
+  let module L = Flo_analysis.Locality in
+  let buf = Buffer.create 4096 in
+  let section title body =
+    Buffer.add_string buf ("== " ^ title ^ " ==\n");
+    Buffer.add_string buf body;
+    Buffer.add_string buf "\n\n"
+  in
+  let caches = A.caches a in
+  (* headline counters *)
+  let lo, hi = A.time_span a in
+  section "trace summary"
+    (table ~header:[ "quantity"; "value" ]
+       [
+         [ "events"; string_of_int (A.event_count a) ];
+         [ "block requests"; string_of_int (A.kind_count a Flo_obs.Event.Access) ];
+         [ "disk reads"; string_of_int (A.kind_count a Flo_obs.Event.Disk_read) ];
+         [ "disk time (us)"; f1 (A.total_disk_us a) ];
+         [ "span (us, modeled)"; Printf.sprintf "%s .. %s" (f1 lo) (f1 hi) ];
+         [ "threads"; string_of_int (L.threads (A.locality a)) ];
+         [ "caches"; string_of_int (List.length caches) ];
+       ]);
+  (* reuse distances *)
+  let reuse_rows =
+    List.filter_map
+      (fun c -> Option.map (reuse_summary_row (A.cache_name c)) (A.reuse_of a c))
+      caches
+  in
+  if reuse_rows <> [] then
+    section "block reuse distances (distinct blocks between reuses)"
+      (table ~header:reuse_header reuse_rows);
+  (* per-cache sharing and conflicts *)
+  List.iter
+    (fun c ->
+      match A.sharing_of a c with
+      | None -> ()
+      | Some s ->
+        let active = S.active_threads s in
+        let n = List.length active in
+        if n > 1 then begin
+          let body = Buffer.create 512 in
+          if n <= max_matrix then begin
+            Buffer.add_string body (submatrix ~label:thread_label active (S.shared s));
+            Buffer.add_char body '\n'
+          end;
+          Buffer.add_string body
+            (Printf.sprintf
+               "cross-thread shared: %d pair-sharings over %d blocks (of %d distinct)"
+               (S.cross_shared s) (S.shared_blocks s) (S.distinct_blocks s));
+          section
+            (Printf.sprintf
+               "inter-thread sharing: %s (blocks both touched; diagonal = per-thread distinct)"
+               (A.cache_name c))
+            (Buffer.contents body);
+          let conflict_body = Buffer.create 512 in
+          if n <= max_matrix && S.total_conflicts s > 0 then begin
+            Buffer.add_string conflict_body
+              (submatrix ~label:thread_label active (S.conflicts s));
+            Buffer.add_char conflict_body '\n'
+          end;
+          Buffer.add_string conflict_body
+            (Printf.sprintf "conflicts: %d of %d evictions hurt another thread"
+               (S.total_conflicts s) (S.evictions s));
+          section
+            (Printf.sprintf
+               "eviction conflicts: %s (row evicted a block column still needed)"
+               (A.cache_name c))
+            (Buffer.contents conflict_body)
+        end)
+    caches;
+  (* Step I objective: per-thread distinct blocks per file *)
+  let l = A.locality a in
+  let per_thread = L.per_thread l in
+  if per_thread <> [] then begin
+    let files = L.files l in
+    let many = List.length files > 12 in
+    let header =
+      "thread"
+      :: ((if many then [] else List.map (fun f -> Printf.sprintf "f%d" f) files)
+         @ [ "total" ])
+    in
+    let rows =
+      List.map
+        (fun (t, _) ->
+          thread_label t
+          :: ((if many then []
+              else
+                List.map (fun f -> string_of_int (L.distinct l ~thread:t ~file:f)) files)
+             @ [ string_of_int (L.total_distinct l ~thread:t) ]))
+        per_thread
+    in
+    section "per-thread distinct blocks per file (Step I objective, Eq. 4)"
+      (table ~header rows)
+  end;
+  Buffer.contents buf
+
+let print_analysis ?max_matrix a = print_string (analysis_summary ?max_matrix a)

@@ -31,3 +31,23 @@ val latency_summary : Flo_obs.Histogram.t -> string
 (** ["n=... mean=... p50=... p90=... p99=... max=..."] in microseconds. *)
 
 val print_latency : title:string -> Flo_obs.Histogram.t -> unit
+
+(** {1 Trace analysis} — rendering for [Flo_analysis] results. *)
+
+val matrix : label:(int -> string) -> int array array -> string
+(** Square matrix as a table with [label i] row/column headers. *)
+
+val submatrix : label:(int -> string) -> int list -> int array array -> string
+(** Only the rows/columns listed (e.g. a cache's active threads). *)
+
+val reuse_header : string list
+val reuse_summary_row : string -> Flo_analysis.Reuse.t -> string list
+
+val analysis_summary : ?max_matrix:int -> Flo_analysis.Analyzer.t -> string
+(** The full text report of an analyzed trace: headline counters,
+    per-cache reuse-distance tables, per-shared-cache sharing and
+    eviction-conflict matrices (matrices elided beyond [max_matrix]
+    threads, default 16), and the per-thread distinct-blocks-per-file
+    table.  [flopt analyze] prints exactly this. *)
+
+val print_analysis : ?max_matrix:int -> Flo_analysis.Analyzer.t -> unit

@@ -42,9 +42,19 @@ val make :
 
 val kind_to_string : kind -> string
 val layer_to_string : layer -> string
+val kind_of_string : string -> kind option
+val layer_of_string : string -> layer option
 
 val to_json : t -> string
 (** One-line JSON object (no trailing newline) — the JSONL record format
     documented in [docs/OBSERVABILITY.md]. *)
+
+val of_json : string -> (t, string) result
+(** Inverse of {!to_json}: parse one JSONL trace line.  Tolerates any field
+    order and surrounding whitespace; [lat_us] defaults to [0.] when absent.
+    Timestamps round-trip at the serializer's millisecond-of-a-microsecond
+    precision ([%.3f]).  Returns [Error msg] on malformed input — offline
+    trace analysis ({!Flo_analysis.Analyzer.load_file}) surfaces these with
+    line numbers. *)
 
 val pp : Format.formatter -> t -> unit

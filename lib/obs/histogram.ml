@@ -12,7 +12,7 @@ type t = {
 let create ?(lo = 1.0) ?(gamma = 1.6) ?(buckets = 48) () =
   if lo <= 0. then invalid_arg "Histogram.create: lo must be positive";
   if gamma <= 1. then invalid_arg "Histogram.create: gamma must exceed 1";
-  if buckets < 2 then invalid_arg "Histogram.create: need at least 2 buckets";
+  if buckets < 1 then invalid_arg "Histogram.create: need at least 1 bucket";
   {
     lo;
     gamma;

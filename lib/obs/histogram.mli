@@ -11,8 +11,10 @@ type t
 
 val create : ?lo:float -> ?gamma:float -> ?buckets:int -> unit -> t
 (** Defaults: [lo = 1.0], [gamma = 1.6], [buckets = 48] — covers roughly
-    [1 us, 3e9 us] before the overflow bucket.
-    @raise Invalid_argument if [lo <= 0], [gamma <= 1] or [buckets < 2]. *)
+    [1 us, 3e9 us] before the overflow bucket.  A degenerate single-bucket
+    histogram is allowed: everything lands in the overflow bucket and
+    {!percentile} degrades to the observed extremes.
+    @raise Invalid_argument if [lo <= 0], [gamma <= 1] or [buckets < 1]. *)
 
 val add : t -> float -> unit
 (** Record one observation.  @raise Invalid_argument on NaN. *)
@@ -40,7 +42,11 @@ val counts : t -> int array
 val percentile : t -> float -> float
 (** [percentile t p] for [p] in [0, 1]: an upper-bound estimate of the
     p-quantile — the upper edge of the bucket holding the rank-[ceil(p*n)]
-    observation, clamped to the observed min/max.  0 when empty. *)
+    observation, clamped to the observed min/max.  Never raises on shape
+    degeneracies: an {e empty} histogram answers [0.] for every [p], and a
+    {e single-bucket} histogram answers the observed maximum (its only
+    bucket's edge is [+inf], so the min/max clamp is all the information
+    left).  @raise Invalid_argument only if [p] is outside [0, 1]. *)
 
 val merge : t -> t -> t
 (** Fresh histogram with summed buckets.

@@ -45,6 +45,19 @@ let jsonl oc =
     flush = (fun () -> flush oc);
   }
 
+let with_jsonl path f =
+  let oc = open_out path in
+  let closed = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      if not !closed then begin
+        closed := true;
+        (* close_out flushes; fall back to close_noerr so a full disk or a
+           vanished file descriptor never masks the exception in flight *)
+        try close_out oc with Sys_error _ -> close_out_noerr oc
+      end)
+    (fun () -> f (jsonl oc))
+
 let callback f = { emit = f; flush = (fun () -> ()) }
 
 let tee a b =

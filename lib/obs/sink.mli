@@ -41,6 +41,12 @@ val jsonl : out_channel -> t
 (** One {!Event.to_json} line per event.  [flush] flushes the channel; the
     caller owns (and closes) the channel. *)
 
+val with_jsonl : string -> (t -> 'a) -> 'a
+(** [with_jsonl path f] opens [path], passes a {!jsonl} sink to [f], and
+    flushes and closes the channel via [Fun.protect] — including when [f]
+    raises, so a crashed run still leaves a complete, parseable JSONL prefix
+    (every emitted event is a whole line) rather than a truncated file. *)
+
 val callback : (Event.t -> unit) -> t
 
 val tee : t -> t -> t

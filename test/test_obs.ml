@@ -44,6 +44,31 @@ let test_histogram_percentile_order () =
       last := v)
     [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ]
 
+let test_histogram_edge_shapes () =
+  (* one bucket is a legal shape: everything lands in the open top bucket *)
+  let h = Histogram.create ~buckets:1 () in
+  checkf "empty single-bucket percentile" 0. (Histogram.percentile h 0.5);
+  List.iter (Histogram.add h) [ 2.; 40.; 900. ];
+  check "count" 3 (Histogram.count h);
+  (* the only bucket's edge is +inf; every percentile clamps to the observed
+     max rather than raising or returning inf (a one-bucket histogram has no
+     quantile resolution, documented in the mli) *)
+  List.iter
+    (fun p ->
+      let v = Histogram.percentile h p in
+      checkb (Printf.sprintf "single-bucket p%.0f finite" (100. *. p)) true
+        (Float.is_finite v);
+      checkf (Printf.sprintf "single-bucket p%.0f = max" (100. *. p)) 900. v)
+    [ 0.0; 0.5; 0.9; 1.0 ];
+  checkf "single-bucket min still tracked" 2. (Histogram.min_value h);
+  (* empty histograms answer every quantile with 0., documented *)
+  let e = Histogram.create () in
+  List.iter (fun p -> checkf "empty percentile" 0. (Histogram.percentile e p))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  Alcotest.check_raises "zero buckets still rejected"
+    (Invalid_argument "Histogram.create: need at least 1 bucket") (fun () ->
+      ignore (Histogram.create ~buckets:0 ()))
+
 (* ---- Histogram: properties ------------------------------------------- *)
 
 (* integral samples keep float sums exact, so merge totals compare with = *)
@@ -216,6 +241,63 @@ let test_event_json () =
     [ {|"kind":"disk_read"|}; {|"layer":"disk"|}; {|"node":3|}; {|"block":42|};
       {|"lat_us":300.250|}; {|"t_us":12.500|} ]
 
+let test_event_json_parse () =
+  (* field order and whitespace are irrelevant; lat_us is optional *)
+  let line =
+    {| { "block": 7, "kind": "hit", "t_us": 3.5, "node": 2, "layer": "l2", "file": 1, "thread": 4 } |}
+  in
+  (match Event.of_json line with
+  | Ok e ->
+    checkb "kind" true (e.Event.kind = Event.Hit);
+    checkb "layer" true (e.Event.layer = Event.L2);
+    check "node" 2 e.Event.node;
+    check "block" 7 e.Event.block;
+    checkf "time" 3.5 e.Event.time_us;
+    checkf "lat defaults" 0. e.Event.latency_us
+  | Error msg -> Alcotest.failf "valid line rejected: %s" msg);
+  List.iter
+    (fun bad ->
+      match Event.of_json bad with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" bad
+      | Error _ -> ())
+    [
+      ""; "[]"; "{"; {|{"t_us":1}|};
+      {|{"t_us":1,"kind":"warp","layer":"l1","node":0,"thread":0,"file":0,"block":0}|};
+      {|{"t_us":1,"kind":"hit","layer":"l9","node":0,"thread":0,"file":0,"block":0}|};
+      {|{"t_us":1,"kind":"hit","layer":"l1","node":0,"thread":0,"file":0,"block":0} x|};
+    ]
+
+(* floats as eighths so the %.3f wire format round-trips exactly *)
+let event_arb =
+  let open QCheck in
+  let gen =
+    Gen.(
+      oneofl [ Event.Access; Event.Hit; Event.Miss; Event.Evict; Event.Demote;
+               Event.Prefetch; Event.Disk_read ]
+      >>= fun kind ->
+      oneofl [ Event.L1; Event.L2; Event.Disk ] >>= fun layer ->
+      int_range 0 7 >>= fun node ->
+      int_range 0 63 >>= fun thread ->
+      int_range 0 15 >>= fun file ->
+      int_range 0 100_000 >>= fun block ->
+      int_range 0 8_000_000 >>= fun t8 ->
+      int_range 0 80_000 >>= fun l8 ->
+      return
+        (Event.make
+           ~time_us:(float_of_int t8 /. 8.)
+           ~kind ~layer ~node ~thread ~file ~block
+           ~latency_us:(float_of_int l8 /. 8.)
+           ()))
+  in
+  QCheck.make ~print:(fun e -> Event.to_json e) gen
+
+let prop_event_json_roundtrip =
+  QCheck.Test.make ~name:"event to_json/of_json round-trips" ~count:500 event_arb
+    (fun e ->
+      match Event.of_json (Event.to_json e) with
+      | Ok e' -> e' = e
+      | Error _ -> false)
+
 (* ---- Sink: ring properties --------------------------------------------- *)
 
 let dummy_event i =
@@ -264,6 +346,48 @@ let test_sink_jsonl_and_tee () =
     !lines;
   checkb "null sink is null" true (Sink.is_null Sink.null);
   checkb "ring sink is not null" false (Sink.is_null (Sink.ring_sink ring))
+
+exception Simulated_crash
+
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  List.rev !lines
+
+let test_with_jsonl_crash_safe () =
+  let path = Filename.temp_file "flopt_crash" ".jsonl" in
+  (* the run dies mid-trace; the sink must still leave a complete prefix *)
+  (try
+     Sink.with_jsonl path (fun sink ->
+         for i = 0 to 9 do
+           sink.Sink.emit (dummy_event i);
+           if i = 6 then raise Simulated_crash
+         done)
+   with Simulated_crash -> ());
+  let lines = read_lines path in
+  check "every emitted event on disk" 7 (List.length lines);
+  List.iteri
+    (fun i line ->
+      match Event.of_json line with
+      | Ok e -> check "line parses back" i e.Event.block
+      | Error msg -> Alcotest.failf "truncated line %d: %s" i msg)
+    lines;
+  Sys.remove path;
+  (* the normal path returns f's value and closes the channel *)
+  let path2 = Filename.temp_file "flopt_ok" ".jsonl" in
+  let n =
+    Sink.with_jsonl path2 (fun sink ->
+        sink.Sink.emit (dummy_event 0);
+        41 + 1)
+  in
+  check "result forwarded" 42 n;
+  check "one line" 1 (List.length (read_lines path2));
+  Sys.remove path2
 
 (* ---- Span --------------------------------------------------------------- *)
 
@@ -365,6 +489,7 @@ let qsuite =
     [
       prop_histogram_add_merge_preserves_count;
       prop_histogram_bucket_monotone;
+      prop_event_json_roundtrip;
       prop_metrics_merge_commutative;
       prop_metrics_merge_associative;
       prop_ring_bounded_and_newest;
@@ -375,6 +500,9 @@ let suite =
   [
     ("histogram basics", `Quick, test_histogram_basics);
     ("histogram percentile ordering", `Quick, test_histogram_percentile_order);
+    ("histogram edge shapes", `Quick, test_histogram_edge_shapes);
+    ("event json parsing", `Quick, test_event_json_parse);
+    ("crash-safe jsonl sink", `Quick, test_with_jsonl_crash_safe);
     ("metrics registry", `Quick, test_metrics_registry);
     ("metrics merge copies", `Quick, prop_metrics_merge_leaves_inputs);
     ("event json encoding", `Quick, test_event_json);
