@@ -568,6 +568,146 @@ let compile_bench () =
      polyhedral summaries, so invocations are microseconds)";
   print_newline ()
 
+(* ---- json: machine-readable trajectory manifest (Bench_schema) --------------------------- *)
+
+(* `bench -- json --out FILE [--apps a,b] [--sample N]` records the headline
+   numbers of this invocation as a flopt-bench manifest for `flopt
+   bench-diff`.  Deterministic modeled quantities are gated (CI compares
+   them against bench/baseline.json); bechamel wall times ride along
+   ungated. *)
+let json_mode args =
+  let out = ref None and app_filter = ref None and sample = ref 1 in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: v :: rest ->
+      out := Some v;
+      parse rest
+    | "--apps" :: v :: rest ->
+      app_filter := Some (String.split_on_char ',' v);
+      parse rest
+    | "--sample" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 1 -> sample := n
+      | _ ->
+        prerr_endline "bench json: --sample must be a positive integer";
+        exit 2);
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf "bench json: unknown argument %S\n" arg;
+      exit 2
+  in
+  parse args;
+  let out =
+    match !out with
+    | Some o -> o
+    | None ->
+      prerr_endline "bench json: --out FILE is required";
+      exit 2
+  in
+  let selected =
+    match !app_filter with
+    | None -> apps
+    | Some names ->
+      List.map
+        (fun name ->
+          match List.find_opt (fun a -> a.App.name = name) apps with
+          | Some a -> a
+          | None ->
+            Printf.eprintf "bench json: unknown application %S\n" name;
+            exit 2)
+        names
+  in
+  let sample = !sample in
+  let metrics = ref [] in
+  let add ~app ~name ~value ~unit_ ~gated =
+    metrics :=
+      { Bench_schema.app; name; value; unit_; gated } :: !metrics
+  in
+  let analyzed_run app layouts =
+    let a = Flo_analysis.Analyzer.create () in
+    let r = Run.run ~sample ~sink:(Flo_analysis.Analyzer.sink a) ~config ~layouts app in
+    (r, a)
+  in
+  let wall_per_invocation app layouts =
+    (* one ungated wall-time point per app: the pass + modeled run, timed by
+       bechamel's monotonic clock (machine-dependent by construction) *)
+    let open Bechamel in
+    let test =
+      Test.make ~name:app.App.name
+        (Staged.stage (fun () -> ignore (Run.run ~sample ~config ~layouts app)))
+    in
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 0.05) () in
+    let raw = Benchmark.all cfg [ instance ] test in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols instance raw in
+    Hashtbl.fold
+      (fun _ res acc ->
+        match Analyze.OLS.estimates res with Some [ est ] -> est | _ -> acc)
+      results 0.
+  in
+  let compile_us app =
+    let t0 = Sys.time () in
+    ignore (Experiment.inter_plan config app);
+    (Sys.time () -. t0) *. 1e6
+  in
+  List.iter
+    (fun app ->
+      let name = app.App.name in
+      Printf.eprintf "bench json: %s...\n%!" name;
+      List.iter
+        (fun (mode, layouts) ->
+          let r, a = analyzed_run app layouts in
+          let g n v u = add ~app:name ~name:(n ^ "." ^ mode) ~value:v ~unit_:u ~gated:true in
+          g "elapsed_us" r.Run.elapsed_us "us";
+          g "l1_miss_per_element" (Run.l1_miss_per_element r) "miss/elem";
+          g "l2_miss_per_element" (Run.l2_miss_per_element r) "miss/elem";
+          g "l2_cross_shared"
+            (float_of_int (Flo_analysis.Analyzer.cross_shared_at a Flo_obs.Event.L2))
+            "pairs";
+          let h = Flo_analysis.Analyzer.reuse_histogram_at a Flo_obs.Event.L1 in
+          if not (Flo_obs.Histogram.is_empty h) then
+            g "reuse_p50_l1" (Flo_obs.Histogram.percentile h 0.5) "blocks")
+        [
+          ("default", Experiment.default_layouts app);
+          ("inter", Experiment.inter_layouts config app);
+        ];
+      let fd, _ =
+        Experiment.fidelity ~sample
+          ~layouts:(Experiment.inter_layouts config app) config app
+      in
+      add ~app:name ~name:"fidelity.max_rel_drift.inter"
+        ~value:(Flo_fidelity.Fidelity.max_rel_drift fd) ~unit_:"ratio" ~gated:true;
+      add ~app:name ~name:"fidelity.flagged_rows.inter"
+        ~value:(float_of_int (List.length (Flo_fidelity.Fidelity.flagged fd)))
+        ~unit_:"rows" ~gated:true;
+      add ~app:name ~name:"wall_ns.inter"
+        ~value:(wall_per_invocation app (Experiment.inter_layouts config app))
+        ~unit_:"ns" ~gated:false;
+      add ~app:name ~name:"pass_compile_us" ~value:(compile_us app) ~unit_:"us"
+        ~gated:false)
+    selected;
+  let manifest =
+    Bench_schema.make
+      ~apps:(List.map (fun a -> a.App.name) selected)
+      ~sample
+      ~block_elems:config.Config.topology.Topology.block_elems
+      ~threads:(Config.threads config)
+      (List.rev !metrics)
+  in
+  (match Bench_schema.validate manifest with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "bench json: internal error: invalid manifest: %s\n" msg;
+    exit 2);
+  Bench_schema.save out manifest;
+  Printf.printf "wrote %s (%d metrics over %d apps, schema %s v%d)\n" out
+    (List.length manifest.Bench_schema.metrics)
+    (List.length manifest.Bench_schema.apps)
+    Bench_schema.schema_name Bench_schema.schema_version
+
 (* ---- driver ------------------------------------------------------------------------------ *)
 
 let sections =
@@ -583,6 +723,9 @@ let sections =
 
 let () =
   let requested = List.tl (Array.to_list Sys.argv) in
+  match requested with
+  | "json" :: rest -> json_mode rest
+  | _ ->
   let chosen =
     if requested = [] then sections
     else

@@ -248,8 +248,15 @@ let analyze_cmd =
   let run path perfetto max_matrix =
     let keep_events = perfetto <> None in
     match Flo_analysis.Analyzer.load_file ~keep_events path with
-    | Error msg ->
-      Printf.eprintf "flopt: analyze: %s: %s\n" path msg;
+    | Error (Flo_analysis.Analyzer.Malformed _ as e) ->
+      (* a broken trace is a data error, not an I/O one: report the offending
+         line and exit 1 so scripts can tell the two apart *)
+      Printf.eprintf "flopt: analyze: %s: %s\n" path
+        (Flo_analysis.Analyzer.load_error_to_string e);
+      exit 1
+    | Error (Flo_analysis.Analyzer.Io _ as e) ->
+      Printf.eprintf "flopt: analyze: %s: %s\n" path
+        (Flo_analysis.Analyzer.load_error_to_string e);
       exit 2
     | Ok a ->
       Report.print_analysis ~max_matrix a;
@@ -329,6 +336,155 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ app_arg $ layout_arg $ out_arg)
 
+let bench_diff_cmd =
+  let doc =
+    "Compare two flopt-bench JSON manifests (written by $(b,bench -- json \
+     --out FILE)) metric by metric.  Gated metrics are deterministic modeled \
+     quantities — higher is worse; with $(b,--fail-on-regress) the exit \
+     status is 1 when any gated metric grew by more than the given percent."
+  in
+  let old_pos =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"OLD" ~doc:"Baseline manifest.")
+  in
+  let new_pos =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"NEW" ~doc:"Candidate manifest.")
+  in
+  let fail_arg =
+    Arg.(value & opt (some float) None
+         & info [ "fail-on-regress" ] ~docv:"PCT"
+             ~doc:"Exit 1 when a gated metric regressed by more than $(docv) \
+                   percent.")
+  in
+  let pp_delta c =
+    if c.Bench_schema.delta_pct = infinity then "+inf"
+    else Printf.sprintf "%+.1f" c.Bench_schema.delta_pct
+  in
+  let run old_path new_path fail_on_regress =
+    let load path =
+      match Bench_schema.load path with
+      | Ok m -> m
+      | Error msg ->
+        Printf.eprintf "flopt: bench-diff: %s\n" msg;
+        exit 2
+    in
+    let old_ = load old_path and new_ = load new_path in
+    let d = Bench_schema.diff ~old_ ~new_ in
+    let threshold = Option.value fail_on_regress ~default:0. in
+    let regressed = Bench_schema.regressions ~threshold d in
+    let rows =
+      List.filter_map
+        (fun (c : Bench_schema.change) ->
+          if not c.Bench_schema.c_gated then None
+          else
+            Some
+              [
+                c.Bench_schema.c_app;
+                c.Bench_schema.c_name;
+                Printf.sprintf "%.4g" c.Bench_schema.old_value;
+                Printf.sprintf "%.4g" c.Bench_schema.new_value;
+                pp_delta c ^ "%";
+                (if List.memq c regressed then "REGRESSED"
+                 else if c.Bench_schema.delta_pct < 0. then "improved"
+                 else "ok");
+              ])
+        d.Bench_schema.changes
+    in
+    Report.print_table ~title:"gated metrics (deterministic; higher is worse)"
+      ~header:[ "app"; "metric"; "old"; "new"; "change"; "flag" ]
+      rows;
+    let ungated =
+      List.filter (fun c -> not c.Bench_schema.c_gated) d.Bench_schema.changes
+    in
+    if ungated <> [] then
+      Report.print_table ~title:"ungated metrics (wall clock; informational)"
+        ~header:[ "app"; "metric"; "old"; "new"; "change" ]
+        (List.map
+           (fun (c : Bench_schema.change) ->
+             [
+               c.Bench_schema.c_app;
+               c.Bench_schema.c_name;
+               Printf.sprintf "%.4g" c.Bench_schema.old_value;
+               Printf.sprintf "%.4g" c.Bench_schema.new_value;
+               pp_delta c ^ "%";
+             ])
+           ungated);
+    List.iter
+      (fun (m : Bench_schema.metric) ->
+        Printf.printf "added:   %s/%s\n" m.Bench_schema.app m.Bench_schema.name)
+      d.Bench_schema.added;
+    List.iter
+      (fun (m : Bench_schema.metric) ->
+        Printf.printf "removed: %s/%s\n" m.Bench_schema.app m.Bench_schema.name)
+      d.Bench_schema.removed;
+    Printf.printf "%d gated regression(s) beyond %.1f%%, %d improvement(s)\n"
+      (List.length regressed) threshold
+      (List.length (Bench_schema.improvements d));
+    if fail_on_regress <> None && regressed <> [] then exit 1
+  in
+  Cmd.v (Cmd.info "bench-diff" ~doc)
+    Term.(const run $ old_pos $ new_pos $ fail_arg)
+
+let fidelity_cmd =
+  let doc =
+    "Check the compiler's cost model against an actual simulated execution: \
+     per-thread distinct-block counts (Step I, Eq. 4) and cross-thread \
+     sharing (Step II), predicted analytically and observed from the run's \
+     event stream, with per-row drift.  Exits 1 when any drift exceeds the \
+     tolerance."
+  in
+  let tolerance_arg =
+    Arg.(value & opt float 0.
+         & info [ "tolerance" ] ~docv:"REL"
+             ~doc:"Relative-error budget per row (0.05 = 5%). Default 0: the \
+                   model must match exactly.")
+  in
+  let predict_block_arg =
+    Arg.(value & opt (some int) None
+         & info [ "predict-block-elems" ] ~docv:"N"
+             ~doc:"Make the predictions for block size $(docv) instead of the \
+                   configured one — a deliberate model/runtime mismatch that \
+                   should show up as drift.")
+  in
+  let sample_arg =
+    Arg.(value & opt int 1
+         & info [ "sample" ] ~docv:"N"
+             ~doc:"Profile-mode sampling factor applied to both the run and \
+                   the prediction.")
+  in
+  let run app layout_mode scope tolerance predict_block_elems sample =
+    if tolerance < 0. then begin
+      prerr_endline "flopt: fidelity: --tolerance must be non-negative";
+      exit 2
+    end;
+    if sample < 1 then begin
+      prerr_endline "flopt: fidelity: --sample must be positive";
+      exit 2
+    end;
+    let layouts =
+      match layout_mode with
+      | Default -> Experiment.default_layouts app
+      | Inter -> Experiment.inter_layouts ~scope config app
+      | Reindexed ->
+        let outcome = Experiment.reindex_best config app in
+        fun id -> List.assoc id outcome.Reindex.layouts
+      | Compmapped ->
+        (* compmap perturbs the iteration-to-thread assignment itself, which
+           the analytical model has no parameters for *)
+        prerr_endline "flopt: fidelity: --layout compmap is not predictable";
+        exit 2
+    in
+    let fd, _result =
+      Experiment.fidelity ~tolerance ?predict_block_elems ~sample ~layouts config app
+    in
+    Report.print_fidelity fd;
+    if not (Flo_fidelity.Fidelity.ok fd) then exit 1
+  in
+  Cmd.v (Cmd.info "fidelity" ~doc)
+    Term.(const run $ app_arg $ layout_arg $ scope_arg $ tolerance_arg
+          $ predict_block_arg $ sample_arg)
+
 let topology_cmd =
   let doc = "Print the default (scaled Table 1) system configuration." in
   let run () =
@@ -344,5 +500,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ apps_cmd; plan_cmd; run_cmd; bench_cmd; analyze_cmd; layout_cmd; trace_cmd;
-            topology_cmd ]))
+          [ apps_cmd; plan_cmd; run_cmd; bench_cmd; analyze_cmd; bench_diff_cmd;
+            fidelity_cmd; layout_cmd; trace_cmd; topology_cmd ]))

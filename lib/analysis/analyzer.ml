@@ -84,6 +84,12 @@ let of_events ?keep_events events =
   List.iter (feed t) events;
   t
 
+type load_error = Io of string | Malformed of { line : int; msg : string }
+
+let load_error_to_string = function
+  | Io msg -> msg
+  | Malformed { line; msg } -> Printf.sprintf "line %d: %s" line msg
+
 let load_channel ?keep_events ic =
   let t = create ?keep_events () in
   let lineno = ref 0 in
@@ -95,14 +101,14 @@ let load_channel ?keep_events ic =
        if String.trim line <> "" then
          match Event.of_json line with
          | Ok e -> feed t e
-         | Error msg -> err := Some (Printf.sprintf "line %d: %s" !lineno msg)
+         | Error msg -> err := Some (Malformed { line = !lineno; msg })
      done
    with End_of_file -> ());
-  match !err with Some msg -> Error msg | None -> Ok t
+  match !err with Some e -> Error e | None -> Ok t
 
 let load_file ?keep_events path =
   match open_in path with
-  | exception Sys_error msg -> Error msg
+  | exception Sys_error msg -> Error (Io msg)
   | ic ->
     Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
         load_channel ?keep_events ic)

@@ -28,12 +28,19 @@ val sink : t -> Flo_obs.Sink.t
 
 val of_events : ?keep_events:bool -> Flo_obs.Event.t list -> t
 
-val load_file : ?keep_events:bool -> string -> (t, string) result
+type load_error =
+  | Io of string  (** the file could not be opened *)
+  | Malformed of { line : int; msg : string }
+      (** first malformed trace line (1-based) and the parse error *)
+
+val load_error_to_string : load_error -> string
+
+val load_file : ?keep_events:bool -> string -> (t, load_error) result
 (** Offline mode: parse a JSONL trace with {!Flo_obs.Event.of_json}.  Blank
     lines are skipped; the first malformed line aborts with
-    [Error "line N: ..."]. *)
+    [Malformed] carrying its line number. *)
 
-val load_channel : ?keep_events:bool -> in_channel -> (t, string) result
+val load_channel : ?keep_events:bool -> in_channel -> (t, load_error) result
 
 val events : t -> Flo_obs.Event.t list
 (** Retained events in trace order; [[]] unless [keep_events] was set. *)

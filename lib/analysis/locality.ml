@@ -45,3 +45,23 @@ let total_distinct t ~thread =
   Hashtbl.fold
     (fun (th, _) r acc -> if th = thread then acc + !r else acc)
     t.counts 0
+
+(* (file, block) -> number of distinct threads that touched it *)
+let block_degrees t =
+  let deg = Hashtbl.create 1024 in
+  Hashtbl.iter
+    (fun (_, file, block) () ->
+      let key = (file, block) in
+      match Hashtbl.find_opt deg key with
+      | Some r -> incr r
+      | None -> Hashtbl.add deg key (ref 1))
+    t.seen;
+  deg
+
+let shared_blocks t =
+  Hashtbl.fold (fun _ r acc -> if !r >= 2 then acc + 1 else acc) (block_degrees t) 0
+
+let cross_pairs t =
+  Hashtbl.fold (fun _ r acc -> acc + (!r * (!r - 1) / 2)) (block_degrees t) 0
+
+let distinct_blocks t = Hashtbl.length (block_degrees t)

@@ -24,3 +24,18 @@ val files : t -> int list
 
 val per_thread : t -> (int * (int * int) list) list
 (** [(thread, [(file, distinct); ...])], both levels ascending. *)
+
+(** {1 Request-level sharing} — over the full request stream, before any
+    cache filters it: the observable the compiler's Step II prediction
+    addresses directly (an inter-node layout at a matching block size
+    assigns every block a single owner, so all three are minimal). *)
+
+val distinct_blocks : t -> int
+(** Distinct [(file, block)] pairs any thread touched. *)
+
+val shared_blocks : t -> int
+(** Distinct blocks touched by two or more threads. *)
+
+val cross_pairs : t -> int
+(** Sum over blocks of [k * (k-1) / 2] where [k] threads touched the block
+    — the total unordered thread-pair co-touches. *)

@@ -1,0 +1,415 @@
+(* Machine-readable benchmark trajectory: a versioned JSON manifest of the
+   numbers one `bench -- json` invocation produced, plus the diff/gating
+   logic `flopt bench-diff` applies between two manifests. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse of string
+
+  (* Recursive-descent parser over the whole (possibly multi-line) input —
+     the trace-event parser in Flo_obs.Event is single-line and flat, this
+     one handles the nested manifest. *)
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail fmt = Printf.ksprintf (fun m -> raise (Parse m)) fmt in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\r' | '\n' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let expect c =
+      skip_ws ();
+      if peek () = Some c then incr pos
+      else fail "expected '%c' at offset %d" c !pos
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail "unexpected token at offset %d" !pos
+    in
+    let string_lit () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+            if !pos + 1 >= n then fail "dangling escape";
+            (match s.[!pos + 1] with
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | c -> Buffer.add_char b c);
+            pos := !pos + 2;
+            go ()
+          | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let number_lit () =
+      let start = !pos in
+      while
+        !pos < n
+        && (match s.[!pos] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr pos
+      done;
+      if !pos = start then fail "expected a value at offset %d" start;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "malformed number at offset %d" start
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (string_lit ())
+      | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = string_lit () in
+            expect ':';
+            let v = value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              incr pos;
+              members ()
+            | Some '}' -> incr pos
+            | _ -> fail "expected ',' or '}' at offset %d" !pos
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+      | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              incr pos;
+              elements ()
+            | Some ']' -> incr pos
+            | _ -> fail "expected ',' or ']' at offset %d" !pos
+          in
+          elements ();
+          Arr (List.rev !items)
+        end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (number_lit ())
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage at offset %d" !pos;
+    v
+
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let num_to_string f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.17g" f
+
+  let to_string t =
+    let b = Buffer.create 256 in
+    let rec go = function
+      | Null -> Buffer.add_string b "null"
+      | Bool v -> Buffer.add_string b (string_of_bool v)
+      | Num f -> Buffer.add_string b (num_to_string f)
+      | Str s -> Buffer.add_string b ("\"" ^ escape s ^ "\"")
+      | Arr items ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char b ',';
+            go v)
+          items;
+        Buffer.add_char b ']'
+      | Obj fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_string b ("\"" ^ escape k ^ "\":");
+            go v)
+          fields;
+        Buffer.add_char b '}'
+    in
+    go t;
+    Buffer.contents b
+
+  let member name = function Obj kvs -> List.assoc_opt name kvs | _ -> None
+end
+
+let schema_name = "flopt-bench"
+let schema_version = 1
+
+type metric = {
+  app : string;
+  name : string;
+  value : float;
+  unit_ : string;
+  gated : bool;
+}
+
+type t = {
+  version : int;
+  apps : string list;
+  sample : int;
+  block_elems : int;
+  threads : int;
+  metrics : metric list;
+}
+
+let make ~apps ~sample ~block_elems ~threads metrics =
+  { version = schema_version; apps; sample; block_elems; threads; metrics }
+
+let metric_key m = (m.app, m.name)
+
+let validate t =
+  let ( let* ) r f = Result.bind r f in
+  let* () =
+    if t.version = schema_version then Ok ()
+    else
+      Error
+        (Printf.sprintf "unsupported schema version %d (expected %d)" t.version
+           schema_version)
+  in
+  let* () = if t.apps = [] then Error "no apps recorded" else Ok () in
+  let* () =
+    if t.sample >= 1 && t.block_elems >= 1 && t.threads >= 1 then Ok ()
+    else Error "non-positive config field"
+  in
+  let* () =
+    match List.find_opt (fun m -> Float.is_nan m.value) t.metrics with
+    | Some m -> Error (Printf.sprintf "metric %s/%s is NaN" m.app m.name)
+    | None -> Ok ()
+  in
+  let seen = Hashtbl.create 64 in
+  let rec dups = function
+    | [] -> Ok ()
+    | m :: rest ->
+      if Hashtbl.mem seen (metric_key m) then
+        Error (Printf.sprintf "duplicate metric %s/%s" m.app m.name)
+      else begin
+        Hashtbl.add seen (metric_key m) ();
+        dups rest
+      end
+  in
+  dups t.metrics
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_name);
+      ("version", Json.Num (float_of_int t.version));
+      ( "config",
+        Json.Obj
+          [
+            ("apps", Json.Arr (List.map (fun a -> Json.Str a) t.apps));
+            ("sample", Json.Num (float_of_int t.sample));
+            ("block_elems", Json.Num (float_of_int t.block_elems));
+            ("threads", Json.Num (float_of_int t.threads));
+          ] );
+      ( "metrics",
+        Json.Arr
+          (List.map
+             (fun m ->
+               Json.Obj
+                 [
+                   ("app", Json.Str m.app);
+                   ("name", Json.Str m.name);
+                   ("value", Json.Num m.value);
+                   ("unit", Json.Str m.unit_);
+                   ("gated", Json.Bool m.gated);
+                 ])
+             t.metrics) );
+    ]
+
+let of_json j =
+  let ( let* ) r f = Result.bind r f in
+  let str = function Json.Str s -> Ok s | _ -> Error "expected a string" in
+  let num = function Json.Num f -> Ok f | _ -> Error "expected a number" in
+  let int j = Result.map int_of_float (num j) in
+  let boolean = function Json.Bool b -> Ok b | _ -> Error "expected a bool" in
+  let field obj name conv =
+    match Json.member name obj with
+    | Some v -> conv v
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let* schema = field j "schema" str in
+  let* () =
+    if schema = schema_name then Ok ()
+    else Error (Printf.sprintf "not a %s manifest (schema %S)" schema_name schema)
+  in
+  let* version = field j "version" int in
+  let* config =
+    match Json.member "config" j with
+    | Some (Json.Obj _ as c) -> Ok c
+    | _ -> Error "missing config object"
+  in
+  let* apps =
+    field config "apps" (function
+      | Json.Arr items ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* s = str item in
+            Ok (s :: acc))
+          (Ok []) items
+        |> Result.map List.rev
+      | _ -> Error "config.apps must be a list")
+  in
+  let* sample = field config "sample" int in
+  let* block_elems = field config "block_elems" int in
+  let* threads = field config "threads" int in
+  let* metrics =
+    match Json.member "metrics" j with
+    | Some (Json.Arr items) ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* app = field item "app" str in
+          let* name = field item "name" str in
+          let* value = field item "value" num in
+          let* unit_ = field item "unit" str in
+          let* gated = field item "gated" boolean in
+          Ok ({ app; name; value; unit_; gated } :: acc))
+        (Ok []) items
+      |> Result.map List.rev
+    | _ -> Error "missing metrics list"
+  in
+  let t = { version; apps; sample; block_elems; threads; metrics } in
+  let* () = validate t in
+  Ok t
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n')
+
+let load path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+    match Json.parse contents with
+    | exception Json.Parse msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | j -> (
+      match of_json j with
+      | Ok t -> Ok t
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg)))
+
+(* -- trajectory diffing -------------------------------------------------- *)
+
+type change = {
+  c_app : string;
+  c_name : string;
+  c_unit : string;
+  c_gated : bool;
+  old_value : float;
+  new_value : float;
+  delta_pct : float;
+}
+
+type diff = { changes : change list; added : metric list; removed : metric list }
+
+(* every recorded metric is a cost (time, misses, sharing, drift): higher is
+   worse, so the sign of delta_pct is the direction of the regression *)
+let delta_pct ~old_value ~new_value =
+  if old_value = 0. then (if new_value = 0. then 0. else infinity)
+  else (new_value -. old_value) /. old_value *. 100.
+
+let diff ~old_ ~new_ =
+  let old_tbl = Hashtbl.create 64 in
+  List.iter (fun m -> Hashtbl.replace old_tbl (metric_key m) m) old_.metrics;
+  let changes, added =
+    List.fold_left
+      (fun (changes, added) m ->
+        match Hashtbl.find_opt old_tbl (metric_key m) with
+        | None -> (changes, m :: added)
+        | Some o ->
+          Hashtbl.remove old_tbl (metric_key m);
+          ( {
+              c_app = m.app;
+              c_name = m.name;
+              c_unit = m.unit_;
+              c_gated = m.gated;
+              old_value = o.value;
+              new_value = m.value;
+              delta_pct = delta_pct ~old_value:o.value ~new_value:m.value;
+            }
+            :: changes,
+            added ))
+      ([], []) new_.metrics
+  in
+  let removed =
+    List.filter (fun m -> Hashtbl.mem old_tbl (metric_key m)) old_.metrics
+  in
+  { changes = List.rev changes; added = List.rev added; removed }
+
+let regressions ?(threshold = 0.) d =
+  List.filter (fun c -> c.c_gated && c.delta_pct > threshold) d.changes
+
+let improvements ?(threshold = 0.) d =
+  List.filter (fun c -> c.c_gated && c.delta_pct < -.threshold) d.changes

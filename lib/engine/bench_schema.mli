@@ -1,0 +1,108 @@
+(** Machine-readable benchmark trajectory.
+
+    [bench -- json --out FILE] writes one {e manifest}: a versioned JSON
+    document recording, per application, the headline numbers of that
+    invocation — modeled execution times, per-layer miss rates, L2
+    cross-thread sharing, reuse-distance medians, fidelity drift, and the
+    pass's measured compile time.  [flopt bench-diff OLD NEW] loads two
+    manifests and reports per-metric changes, optionally failing the
+    process when a {e gated} metric regressed past a threshold.
+
+    Gating convention: a metric is [gated] iff it is deterministic (a
+    modeled quantity, identical on every machine), so a checked-in baseline
+    stays comparable in CI.  Wall-clock measurements (bechamel) are
+    recorded [gated = false] — trajectory data, never a gate.  Every
+    recorded metric is a cost: {b higher is worse}. *)
+
+(** Minimal JSON tree — parse, print, and probe; no external dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse of string
+
+  val parse : string -> t
+  (** Whole-input parse (nested values, multi-line).  @raise Parse on
+      malformed input or trailing garbage. *)
+
+  val to_string : t -> string
+  (** Compact single-line rendering; integers print without a decimal
+      point.  [parse (to_string t)] is [t] up to float formatting. *)
+
+  val member : string -> t -> t option
+  (** Field lookup, [None] on non-objects. *)
+end
+
+val schema_name : string
+(** ["flopt-bench"] — the manifest's self-identification. *)
+
+val schema_version : int
+(** Current version (1).  Bump on any incompatible layout change; {!load}
+    rejects other versions. *)
+
+type metric = {
+  app : string;
+  name : string;  (** e.g. ["elapsed_us.inter"] *)
+  value : float;
+  unit_ : string;  (** ["us"], ["miss/elem"], ["blocks"], ... *)
+  gated : bool;  (** deterministic — compared against the baseline *)
+}
+
+type t = {
+  version : int;
+  apps : string list;  (** apps the invocation covered, in order *)
+  sample : int;  (** profile-mode sampling factor used *)
+  block_elems : int;
+  threads : int;
+  metrics : metric list;
+}
+
+val make :
+  apps:string list -> sample:int -> block_elems:int -> threads:int ->
+  metric list -> t
+(** A manifest of the current {!schema_version}. *)
+
+val validate : t -> (unit, string) result
+(** Structural checks: supported version, non-empty apps, positive config
+    fields, no NaN values, no duplicate [(app, name)] pair.  {!load} runs
+    this automatically. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+
+val save : string -> t -> unit
+val load : string -> (t, string) result
+(** I/O, parse, and {!validate} errors all surface as [Error]. *)
+
+(** {1 Trajectory diffing} *)
+
+type change = {
+  c_app : string;
+  c_name : string;
+  c_unit : string;
+  c_gated : bool;
+  old_value : float;
+  new_value : float;
+  delta_pct : float;
+      (** [(new - old) / old * 100]; 0 when both are 0, [infinity] when a
+          zero-cost metric became nonzero *)
+}
+
+type diff = {
+  changes : change list;  (** metrics present in both manifests *)
+  added : metric list;  (** only in the new manifest *)
+  removed : metric list;  (** only in the old manifest *)
+}
+
+val diff : old_:t -> new_:t -> diff
+
+val regressions : ?threshold:float -> diff -> change list
+(** Gated changes whose [delta_pct] exceeds [threshold] (percent, default
+    0).  Higher-is-worse: a positive delta is a regression. *)
+
+val improvements : ?threshold:float -> diff -> change list

@@ -98,3 +98,26 @@ let random_mapping ~seed config =
     perm.(j) <- t
   done;
   Array.init threads (fun t -> perm.(t mod compute))
+
+(* The fidelity loop: run with a live analyzer attached, recompute the
+   compiler-side predictions under the same parallelization parameters (or
+   deliberately different ones via [predict_block_elems]), and join. *)
+let fidelity ?tolerance ?mapping ?(sample = 1) ?predict_block_elems ~layouts config
+    app =
+  let analyzer = Flo_analysis.Analyzer.create () in
+  let result =
+    Run.run ?mapping ~sample ~sink:(Flo_analysis.Analyzer.sink analyzer) ~config
+      ~layouts app
+  in
+  let block_elems =
+    match predict_block_elems with
+    | Some b -> b
+    | None -> config.Config.topology.Topology.block_elems
+  in
+  let predict =
+    Flo_fidelity.Predict.compute
+      ~blocks_per_thread:config.Config.blocks_per_thread ~sample ~block_elems
+      ~threads:(Config.threads config) ~name:app.App.name ~layouts
+      app.App.program
+  in
+  (Flo_fidelity.Fidelity.join ?tolerance ~predict ~observed:analyzer (), result)

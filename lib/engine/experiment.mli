@@ -60,3 +60,20 @@ val compmap_run : ?sample:int -> Config.t -> App.t -> Run.result
 val random_mapping : seed:int -> Config.t -> int array
 (** Deterministic pseudo-random thread-to-compute-node permutation
     (Mappings II-IV of Fig. 7(b) use seeds 1-3). *)
+
+val fidelity :
+  ?tolerance:float ->
+  ?mapping:int array ->
+  ?sample:int ->
+  ?predict_block_elems:int ->
+  layouts:(int -> File_layout.t) ->
+  Config.t ->
+  App.t ->
+  Flo_fidelity.Fidelity.t * Run.result
+(** Predicted-vs-observed accounting: simulate the app with a live
+    {!Flo_analysis.Analyzer} sink, evaluate {!Flo_fidelity.Predict.compute}
+    under the same run parameters, and {!Flo_fidelity.Fidelity.join} the
+    two.  Under matching parameters every drift is exactly 0;
+    [predict_block_elems] deliberately mis-parameterizes the model (e.g. to
+    demonstrate nonzero flagged drift, or to ask "what if the compiler had
+    assumed a different block size?"). *)

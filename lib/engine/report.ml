@@ -214,3 +214,111 @@ let analysis_summary ?(max_matrix = 16) a =
   Buffer.contents buf
 
 let print_analysis ?max_matrix a = print_string (analysis_summary ?max_matrix a)
+
+let rel_pct v = if v = infinity then "inf" else pct v
+
+let fidelity_summary (fd : Flo_fidelity.Fidelity.t) =
+  let module F = Flo_fidelity.Fidelity in
+  let module P = Flo_fidelity.Predict in
+  let buf = Buffer.create 2048 in
+  let section title body =
+    Buffer.add_string buf ("== " ^ title ^ " ==\n");
+    Buffer.add_string buf body;
+    Buffer.add_string buf "\n\n"
+  in
+  let p = fd.F.predict in
+  section "model parameters"
+    (table ~header:[ "quantity"; "value" ]
+       [
+         [ "app"; fd.F.app ];
+         [ "threads"; string_of_int p.P.threads ];
+         [ "block (elements)"; string_of_int p.P.block_elems ];
+         [ "blocks/thread"; string_of_int p.P.blocks_per_thread ];
+         [ "sample"; string_of_int p.P.sample ];
+         [ "tolerance (rel %)"; pct fd.F.tolerance ];
+       ]);
+  section "per-array layout predictions (Step II parameters)"
+    (table
+       ~header:[ "array"; "layout"; "chunk"; "aligned"; "layers" ]
+       (List.map
+          (fun (ap : P.array_prediction) ->
+            [
+              ap.P.array_name;
+              ap.P.layout;
+              (match ap.P.chunk_elems with Some c -> string_of_int c | None -> "-");
+              (if ap.P.optimized then string_of_bool ap.P.block_aligned else "-");
+              (if ap.P.layers = [] then "-"
+               else
+                 String.concat "; "
+                   (List.map (Format.asprintf "%a" P.pp_layer) ap.P.layers));
+            ])
+          p.P.arrays));
+  section "predicted vs observed distinct blocks (Step I, Eq. 4)"
+    (table
+       ~header:[ "thread"; "file"; "predicted"; "observed"; "drift"; "rel %"; "flag" ]
+       (List.map
+          (fun (r : F.row) ->
+            [
+              thread_label r.F.thread;
+              Printf.sprintf "f%d" r.F.file;
+              string_of_int r.F.predicted;
+              string_of_int r.F.observed;
+              string_of_int (F.abs_drift r);
+              rel_pct (F.rel_drift r);
+              (if F.rel_drift r > fd.F.tolerance then "DRIFT" else "ok");
+            ])
+          fd.F.rows));
+  section "cross-thread sharing (Step II)"
+    (table
+       ~header:[ "quantity"; "predicted"; "observed"; "drift" ]
+       [
+         [
+           "shared blocks";
+           string_of_int fd.F.predicted_cross_shared;
+           string_of_int fd.F.observed_cross_shared;
+           string_of_int (F.sharing_drift fd);
+         ];
+         [
+           "pair co-touches";
+           string_of_int fd.F.predicted_cross_pairs;
+           string_of_int fd.F.observed_cross_pairs;
+           string_of_int (F.pairs_drift fd);
+         ];
+       ]);
+  if fd.F.layer_rows <> [] then
+    section "per-cache sharing vs request-level bound"
+      (table
+         ~header:[ "cache"; "observed cross"; "bound"; "flag" ]
+         (List.map
+            (fun (lr : F.layer_row) ->
+              [
+                lr.F.cache;
+                string_of_int lr.F.observed_cross;
+                string_of_int lr.F.predicted_bound;
+                (if lr.F.violated then "VIOLATION" else "ok");
+              ])
+            fd.F.layer_rows));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "verdict: %s (max |drift| %d, max rel %s%%, %d flagged rows, %d layer violations)\n"
+       (if F.ok fd then "OK" else "DRIFT")
+       (F.max_abs_drift fd)
+       (rel_pct (F.max_rel_drift fd))
+       (List.length (F.flagged fd))
+       (List.length (F.layer_violations fd)));
+  Buffer.contents buf
+
+let fidelity_line (fd : Flo_fidelity.Fidelity.t) =
+  let module F = Flo_fidelity.Fidelity in
+  Printf.sprintf
+    "%-10s rows=%-3d max_abs=%-3d max_rel=%s%% sharing=%d/%d flagged=%d violations=%d %s"
+    fd.F.app
+    (List.length fd.F.rows)
+    (F.max_abs_drift fd)
+    (rel_pct (F.max_rel_drift fd))
+    fd.F.predicted_cross_shared fd.F.observed_cross_shared
+    (List.length (F.flagged fd))
+    (List.length (F.layer_violations fd))
+    (if F.ok fd then "OK" else "DRIFT")
+
+let print_fidelity fd = print_string (fidelity_summary fd)

@@ -51,3 +51,16 @@ val analysis_summary : ?max_matrix:int -> Flo_analysis.Analyzer.t -> string
     table.  [flopt analyze] prints exactly this. *)
 
 val print_analysis : ?max_matrix:int -> Flo_analysis.Analyzer.t -> unit
+
+(** {1 Model fidelity} — rendering for [Flo_fidelity] joins. *)
+
+val fidelity_summary : Flo_fidelity.Fidelity.t -> string
+(** The full predicted-vs-observed report: model parameters, per-array
+    Step II layout expectations, the per-(thread, file) Eq. 4 drift table,
+    cross-thread sharing drift, per-cache bound checks, and a one-line
+    verdict.  [flopt fidelity] prints exactly this. *)
+
+val fidelity_line : Flo_fidelity.Fidelity.t -> string
+(** One-line per-app summary (used by the suite-wide golden test). *)
+
+val print_fidelity : Flo_fidelity.Fidelity.t -> unit

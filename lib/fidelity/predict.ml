@@ -1,0 +1,171 @@
+open Flo_poly
+open Flo_core
+
+type layer_expect = {
+  level : int;
+  capacity : int;
+  fanout : int;
+  reps : int;
+  threads_sharing : int;
+  chunks_per_thread : int;
+  capacity_blocks : int;
+}
+
+type array_prediction = {
+  array_id : int;
+  array_name : string;
+  layout : string;
+  optimized : bool;
+  chunk_elems : int option;
+  block_aligned : bool;
+  layers : layer_expect list;
+}
+
+type t = {
+  app : string;
+  threads : int;
+  block_elems : int;
+  blocks_per_thread : int;
+  sample : int;
+  arrays : array_prediction list;
+  distinct : ((int * int) * int) list;
+  cross_shared_blocks : int;
+  cross_pairs : int;
+  distinct_blocks : int;
+  single_owner : bool;
+}
+
+let layer_expectations ~block_elems (p : Chunk_pattern.t) =
+  let n = Array.length p.Chunk_pattern.layers in
+  List.init n (fun i ->
+      let { Chunk_pattern.capacity; fanout } = p.Chunk_pattern.layers.(i) in
+      let threads_sharing =
+        Array.fold_left
+          (fun acc (ly : Chunk_pattern.layer) -> acc * ly.Chunk_pattern.fanout)
+          1
+          (Array.sub p.Chunk_pattern.layers 0 (i + 1))
+      in
+      let chunks_per_thread = capacity / threads_sharing / p.Chunk_pattern.chunk in
+      {
+        level = i + 1;
+        capacity;
+        fanout;
+        reps = (if i < n - 1 then p.Chunk_pattern.reps.(i) else 1);
+        threads_sharing;
+        chunks_per_thread;
+        capacity_blocks = capacity / block_elems;
+      })
+
+let array_prediction ~block_elems (decl : Program.array_decl) layout =
+  let chunk =
+    match layout with
+    | File_layout.Internode i -> Some (Chunk_pattern.chunk_elems i.File_layout.pattern)
+    | _ -> None
+  in
+  {
+    array_id = decl.Program.id;
+    array_name = decl.Program.name;
+    layout = File_layout.describe layout;
+    optimized = (match layout with File_layout.Internode _ -> true | _ -> false);
+    chunk_elems = chunk;
+    block_aligned = (match chunk with Some c -> c mod block_elems = 0 | None -> false);
+    layers =
+      (match layout with
+      | File_layout.Internode i ->
+        layer_expectations ~block_elems i.File_layout.pattern
+      | _ -> []);
+  }
+
+(* Mirrors Tracegen's parallelization exactly: round-robin iteration blocks,
+   [num_blocks = min (threads * blocks_per_thread) extent], and profile-mode
+   sampling keeps a prefix of each thread's iterations. *)
+let compute ?(blocks_per_thread = 1) ?(sample = 1) ~block_elems ~threads ~name ~layouts
+    (program : Program.t) =
+  if sample < 1 then invalid_arg "Predict.compute: sample < 1";
+  if block_elems < 1 then invalid_arg "Predict.compute: block_elems < 1";
+  let seen : (int * int * int, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let counts : (int * int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let degrees : (int * int, int ref) Hashtbl.t = Hashtbl.create 4096 in
+  let touch ~thread ~file ~block =
+    let key = (thread, file, block) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      (match Hashtbl.find_opt counts (thread, file) with
+      | Some r -> incr r
+      | None -> Hashtbl.add counts (thread, file) (ref 1));
+      match Hashtbl.find_opt degrees (file, block) with
+      | Some r -> incr r
+      | None -> Hashtbl.add degrees (file, block) (ref 1)
+    end
+  in
+  List.iter
+    (fun (nest : Loop_nest.t) ->
+      let u = nest.Loop_nest.parallel_dim in
+      let extent = Iter_space.extent nest.Loop_nest.space u in
+      let num_blocks = min (threads * blocks_per_thread) extent in
+      let plan =
+        Parallelize.custom ~threads ~num_blocks ~assign:(fun b -> b mod threads) nest
+      in
+      let totals = Parallelize.iterations_per_thread plan in
+      let refs =
+        List.map (fun r -> (Access.array_id r, layouts (Access.array_id r), r))
+          nest.Loop_nest.refs
+      in
+      for thread = 0 to threads - 1 do
+        let limit = (totals.(thread) + sample - 1) / sample in
+        let counter = ref 0 in
+        Parallelize.iter_thread plan ~thread (fun iter ->
+            let keep = !counter < limit in
+            incr counter;
+            if keep then
+              List.iter
+                (fun (file, layout, r) ->
+                  let offset = File_layout.offset_of layout (Access.eval r iter) in
+                  touch ~thread ~file ~block:(offset / block_elems))
+                refs)
+      done)
+    program.Program.nests;
+  let distinct =
+    Hashtbl.fold (fun key r acc -> (key, !r) :: acc) counts []
+    |> List.sort compare
+  in
+  let cross_shared_blocks =
+    Hashtbl.fold (fun _ r acc -> if !r >= 2 then acc + 1 else acc) degrees 0
+  in
+  let cross_pairs =
+    Hashtbl.fold (fun _ r acc -> acc + (!r * (!r - 1) / 2)) degrees 0
+  in
+  let arrays =
+    List.map
+      (fun id -> array_prediction ~block_elems (Program.array_decl program id) (layouts id))
+      (Program.array_ids program)
+  in
+  {
+    app = name;
+    threads;
+    block_elems;
+    blocks_per_thread;
+    sample;
+    arrays;
+    distinct;
+    cross_shared_blocks;
+    cross_pairs;
+    distinct_blocks = Hashtbl.length degrees;
+    single_owner = cross_shared_blocks = 0;
+  }
+
+let distinct_of t ~thread ~file =
+  match List.assoc_opt (thread, file) t.distinct with Some n -> n | None -> 0
+
+let total_distinct t ~thread =
+  List.fold_left
+    (fun acc ((th, _), n) -> if th = thread then acc + n else acc)
+    0 t.distinct
+
+let threads_seen t =
+  List.fold_left (fun acc ((th, _), _) -> max acc (th + 1)) 0 t.distinct
+
+let pp_layer ppf l =
+  Format.fprintf ppf "L%d: S=%d N=%d t=%d sharing=%d chunks/thread=%d (%d blocks)"
+    l.level l.capacity l.fanout l.reps l.threads_sharing l.chunks_per_thread
+    l.capacity_blocks

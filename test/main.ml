@@ -9,4 +9,6 @@ let () =
       ("core", Test_core.suite);
       ("workloads", Test_workloads.suite);
       ("engine", Test_engine.suite);
+      ("fidelity", Test_fidelity.suite);
+      ("bench", Test_bench.suite);
     ]

@@ -125,7 +125,8 @@ let load_golden () =
   in
   match A.load_file ~keep_events:true path with
   | Ok a -> a
-  | Error msg -> Alcotest.failf "golden trace did not parse: %s" msg
+  | Error e ->
+    Alcotest.failf "golden trace did not parse: %s" (A.load_error_to_string e)
 
 let l1_0 = { A.layer = E.L1; node = 0 }
 let l2_0 = { A.layer = E.L2; node = 0 }
@@ -257,7 +258,7 @@ let test_offline_equals_live () =
   let off =
     match A.load_file path with
     | Ok a -> a
-    | Error msg -> Alcotest.failf "trace did not parse: %s" msg
+    | Error e -> Alcotest.failf "trace did not parse: %s" (A.load_error_to_string e)
   in
   Sys.remove path;
   check "events" (A.event_count live) (A.event_count off);
@@ -366,9 +367,8 @@ let test_analyzer_error_reporting () =
   close_out oc;
   (match A.load_file path with
   | Ok _ -> Alcotest.fail "malformed line accepted"
-  | Error msg ->
-    checkb "line number reported" true
-      (String.length msg >= 7 && String.sub msg 0 7 = "line 3:"));
+  | Error (A.Malformed { line; _ }) -> check "line number reported" 3 line
+  | Error (A.Io msg) -> Alcotest.failf "expected Malformed, got Io: %s" msg);
   Sys.remove path
 
 let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_sharing_matrix_laws ]
@@ -389,3 +389,65 @@ let suite =
     ("malformed trace line reported", `Quick, test_analyzer_error_reporting);
   ]
   @ qsuite
+
+(* ---- perfetto edge shapes ------------------------------------------------ *)
+
+module J = Flo_engine.Bench_schema.Json
+
+let test_perfetto_empty_trace () =
+  (* no events must still yield a well-formed document with an (empty or
+     metadata-only) traceEvents list, not a parse error or truncation *)
+  let doc = J.parse (Flo_analysis.Perfetto.json_of_events []) in
+  match J.member "traceEvents" doc with
+  | Some (J.Arr items) ->
+    checkb "no duration slices for an empty trace" true
+      (List.for_all
+         (fun item ->
+           match J.member "ph" item with
+           | Some (J.Str ph) -> ph = "M" (* metadata records only *)
+           | _ -> false)
+         items)
+  | _ -> Alcotest.fail "traceEvents missing or not a list"
+
+let test_perfetto_single_event () =
+  let ev =
+    E.make ~time_us:5. ~kind:E.Access ~layer:E.L1 ~node:0 ~thread:3 ~file:1
+      ~block:7 ~latency_us:2.5 ()
+  in
+  let doc = J.parse (Flo_analysis.Perfetto.json_of_events [ ev ]) in
+  match J.member "traceEvents" doc with
+  | Some (J.Arr items) ->
+    let slices =
+      List.filter
+        (fun item ->
+          match J.member "ph" item with Some (J.Str "X") -> true | _ -> false)
+        items
+    in
+    check "exactly one slice" 1 (List.length slices);
+    (match J.member "ts" (List.hd slices) with
+    | Some (J.Num ts) -> checkb "timestamp preserved" true (ts = 5.)
+    | _ -> Alcotest.fail "slice has no ts")
+  | _ -> Alcotest.fail "traceEvents missing or not a list"
+
+let test_bad_trace_fixture () =
+  (* the checked-in fixture behind `flopt analyze` exit-code behavior: line 3
+     is the malformed one (line 2 is blank and must be skipped, not counted
+     as an error) *)
+  let path =
+    if Sys.file_exists "data/bad_trace.jsonl" then "data/bad_trace.jsonl"
+    else "test/data/bad_trace.jsonl"
+  in
+  match A.load_file path with
+  | Ok _ -> Alcotest.fail "bad fixture accepted"
+  | Error (A.Malformed { line; msg }) ->
+    check "offending line" 3 line;
+    checkb "message not empty" true (String.length msg > 0)
+  | Error (A.Io msg) -> Alcotest.failf "expected Malformed, got Io: %s" msg
+
+let suite =
+  suite
+  @ [
+      ("perfetto: empty trace", `Quick, test_perfetto_empty_trace);
+      ("perfetto: single event", `Quick, test_perfetto_single_event);
+      ("bad-trace fixture reports line 3", `Quick, test_bad_trace_fixture);
+    ]

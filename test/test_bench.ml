@@ -1,0 +1,203 @@
+(* The machine-readable bench trajectory: JSON tree parse/print, manifest
+   schema round-trip and validation, and bench-diff's regression gating. *)
+
+open Flo_engine
+module B = Bench_schema
+module J = B.Json
+
+let checkb = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* -- Json ---------------------------------------------------------------- *)
+
+let test_json_roundtrip_by_hand () =
+  let t =
+    J.Obj
+      [
+        ("s", J.Str "he\"llo\n");
+        ("n", J.Num 1.5);
+        ("i", J.Num 42.);
+        ("b", J.Bool true);
+        ("z", J.Null);
+        ("l", J.Arr [ J.Num 1.; J.Arr []; J.Obj [] ]);
+      ]
+  in
+  checkb "roundtrip" true (J.parse (J.to_string t) = t);
+  check_str "integers print bare" "42" (J.to_string (J.Num 42.))
+
+let test_json_parse_accepts_whitespace () =
+  let t = J.parse "  {\n  \"a\" : [ 1 , 2 ] ,\n \"b\" : null }  " in
+  checkb "fields" true
+    (t = J.Obj [ ("a", J.Arr [ J.Num 1.; J.Num 2. ]); ("b", J.Null) ])
+
+let test_json_parse_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | exception J.Parse _ -> ()
+      | v -> Alcotest.failf "accepted %S as %s" s (J.to_string v))
+    [ ""; "{"; "{\"a\":}"; "[1,]"; "tru"; "{} x"; "\"unterminated" ]
+
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return J.Null;
+        map (fun b -> J.Bool b) bool;
+        map (fun n -> J.Num (float_of_int n)) small_signed_int;
+        map (fun s -> J.Str s) (string_size ~gen:printable (int_bound 8));
+      ]
+  in
+  let rec tree depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (2, scalar);
+          (1, map (fun l -> J.Arr l) (list_size (int_bound 4) (tree (depth - 1))));
+          ( 1,
+            map
+              (fun kvs -> J.Obj kvs)
+              (list_size (int_bound 4)
+                 (pair (string_size ~gen:printable (int_bound 6)) (tree (depth - 1))))
+          );
+        ]
+  in
+  tree 3
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"Json.parse inverts Json.to_string"
+    (QCheck.make json_gen)
+    (fun t -> J.parse (J.to_string t) = t)
+
+(* -- manifest schema ------------------------------------------------------ *)
+
+let metric ?(gated = true) app name value =
+  { B.app; name; value; unit_ = "us"; gated }
+
+let manifest metrics =
+  B.make ~apps:[ "a"; "b" ] ~sample:1 ~block_elems:64 ~threads:64 metrics
+
+let test_manifest_roundtrip () =
+  let m =
+    manifest [ metric "a" "elapsed_us.inter" 12.5; metric ~gated:false "a" "wall_ns" 3e9 ]
+  in
+  let path = Filename.temp_file "flopt_bench" ".json" in
+  B.save path m;
+  (match B.load path with
+  | Ok m' -> checkb "roundtrip" true (m = m')
+  | Error e -> Alcotest.failf "load failed: %s" e);
+  Sys.remove path
+
+let test_validate_rejects () =
+  let dup = metric "a" "x" 1. in
+  (match B.validate (manifest [ dup; dup ]) with
+  | Error e -> checkb "duplicate" true (String.length e > 0)
+  | Ok () -> Alcotest.fail "duplicate metric accepted");
+  (match B.validate { (manifest []) with B.version = 99 } with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "future version accepted");
+  (match B.validate (manifest [ metric "a" "x" Float.nan ]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "NaN accepted")
+
+let test_load_reports_errors () =
+  (match B.load "/nonexistent/bench.json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file loaded");
+  let path = Filename.temp_file "flopt_bench" ".json" in
+  let oc = open_out path in
+  output_string oc "{\"schema\":\"other\",\"version\":1}";
+  close_out oc;
+  (match B.load path with
+  | Error e -> checkb "names wrong schema" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "wrong schema loaded");
+  Sys.remove path
+
+(* -- diffing and gating ---------------------------------------------------- *)
+
+let test_self_diff_clean () =
+  let m = manifest [ metric "a" "x" 10.; metric "a" "y" 0. ] in
+  let d = B.diff ~old_:m ~new_:m in
+  check_int "changes" 2 (List.length d.B.changes);
+  check_int "regressions" 0 (List.length (B.regressions d));
+  check_int "improvements" 0 (List.length (B.improvements d));
+  checkb "nothing added/removed" true (d.B.added = [] && d.B.removed = [])
+
+let test_injected_slowdown_regresses () =
+  let old_ = manifest [ metric "a" "elapsed_us.inter" 100.; metric "a" "m" 5. ] in
+  let new_ = manifest [ metric "a" "elapsed_us.inter" 200.; metric "a" "m" 5. ] in
+  let d = B.diff ~old_ ~new_ in
+  let r = B.regressions ~threshold:25. d in
+  check_int "one regression" 1 (List.length r);
+  let c = List.hd r in
+  check_str "which" "elapsed_us.inter" c.B.c_name;
+  Alcotest.(check (float 1e-9)) "plus 100%" 100. c.B.delta_pct
+
+let test_threshold_masks_small_changes () =
+  let old_ = manifest [ metric "a" "x" 100. ] in
+  let new_ = manifest [ metric "a" "x" 110. ] in
+  let d = B.diff ~old_ ~new_ in
+  check_int "gated at 0%" 1 (List.length (B.regressions d));
+  check_int "masked at 25%" 0 (List.length (B.regressions ~threshold:25. d))
+
+let test_ungated_never_gates () =
+  let old_ = manifest [ metric ~gated:false "a" "wall_ns" 100. ] in
+  let new_ = manifest [ metric ~gated:false "a" "wall_ns" 1000. ] in
+  let d = B.diff ~old_ ~new_ in
+  check_int "wall time ignored" 0 (List.length (B.regressions d))
+
+let test_zero_baseline_special_case () =
+  (* a cost that was 0 and became nonzero is an infinite-percent regression,
+     not a divide-by-zero *)
+  let old_ = manifest [ metric "a" "drift" 0. ] in
+  let new_ = manifest [ metric "a" "drift" 1. ] in
+  let d = B.diff ~old_ ~new_ in
+  let r = B.regressions ~threshold:1000. d in
+  check_int "still regressed" 1 (List.length r);
+  checkb "infinite" true ((List.hd r).B.delta_pct = infinity)
+
+let test_added_removed () =
+  let old_ = manifest [ metric "a" "x" 1.; metric "a" "gone" 2. ] in
+  let new_ = manifest [ metric "a" "x" 1.; metric "a" "fresh" 3. ] in
+  let d = B.diff ~old_ ~new_ in
+  check_int "added" 1 (List.length d.B.added);
+  check_int "removed" 1 (List.length d.B.removed);
+  check_str "added name" "fresh" (List.hd d.B.added).B.name;
+  check_str "removed name" "gone" (List.hd d.B.removed).B.name
+
+let prop_self_diff_never_regresses =
+  QCheck.Test.make ~count:200 ~name:"self-diff has no regressions"
+    QCheck.(small_list (pair (int_bound 1000) bool))
+    (fun cells ->
+      let metrics =
+        List.mapi
+          (fun i (v, gated) -> metric ~gated "a" (Printf.sprintf "m%d" i) (float_of_int v))
+          cells
+      in
+      let m = manifest metrics in
+      let d = B.diff ~old_:m ~new_:m in
+      B.regressions d = [] && B.improvements d = [])
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_json_roundtrip; prop_self_diff_never_regresses ]
+
+let suite =
+  [
+    ("json roundtrip by hand", `Quick, test_json_roundtrip_by_hand);
+    ("json whitespace", `Quick, test_json_parse_accepts_whitespace);
+    ("json rejects garbage", `Quick, test_json_parse_rejects_garbage);
+    ("manifest roundtrip", `Quick, test_manifest_roundtrip);
+    ("validate rejects bad manifests", `Quick, test_validate_rejects);
+    ("load reports errors", `Quick, test_load_reports_errors);
+    ("self-diff is clean", `Quick, test_self_diff_clean);
+    ("injected 2x slowdown regresses", `Quick, test_injected_slowdown_regresses);
+    ("threshold masks small changes", `Quick, test_threshold_masks_small_changes);
+    ("ungated metrics never gate", `Quick, test_ungated_never_gates);
+    ("zero-baseline special case", `Quick, test_zero_baseline_special_case);
+    ("added/removed metrics", `Quick, test_added_removed);
+  ]
+  @ qsuite

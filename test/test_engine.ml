@@ -363,3 +363,30 @@ let suite =
       ("shape: all 16 apps in their groups", `Slow, test_all_groups);
       ("shape: Table 3 miss reductions", `Slow, test_miss_reduction_shape);
     ]
+
+(* ---- trace flush ordering ------------------------------------------------ *)
+
+(* the contract `flopt run --trace` relies on: the instant with_jsonl
+   returns, the file on disk is the complete trace — flushed and closed, no
+   buffered tail — so a pipeline can re-read it immediately *)
+let test_trace_readable_immediately () =
+  let live = Flo_analysis.Analyzer.create () in
+  let path = Filename.temp_file "flopt_trace_flush" ".jsonl" in
+  ignore
+    (Flo_obs.Sink.with_jsonl path (fun sink ->
+         fig6_run
+           ~sink:(Flo_obs.Sink.tee sink (Flo_analysis.Analyzer.sink live))
+           ()));
+  let off =
+    match Flo_analysis.Analyzer.load_file path with
+    | Ok a -> a
+    | Error e ->
+      Alcotest.failf "immediate re-read failed: %s"
+        (Flo_analysis.Analyzer.load_error_to_string e)
+  in
+  Sys.remove path;
+  check "no events lost at close"
+    (Flo_analysis.Analyzer.event_count live)
+    (Flo_analysis.Analyzer.event_count off)
+
+let suite = suite @ [ ("trace file complete on return", `Quick, test_trace_readable_immediately) ]

@@ -1,0 +1,188 @@
+(* Model-fidelity telemetry: the compiler-side predictions (Predict) joined
+   against observed run analytics (Fidelity), and their rendering.
+
+   The headline guarantees pinned here:
+   - under matching run parameters the analytical model is EXACT — all 16
+     apps under the inter-node layout show zero drift (golden file);
+   - a deliberately mis-parameterized model (wrong block size) produces
+     nonzero, flagged drift (golden file). *)
+
+open Flo_workloads
+open Flo_engine
+module F = Flo_fidelity.Fidelity
+module P = Flo_fidelity.Predict
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let config = Config.default
+
+let fidelity_of ?tolerance ?predict_block_elems ?sample app =
+  fst
+    (Experiment.fidelity ?tolerance ?predict_block_elems ?sample
+       ~layouts:(Experiment.inter_layouts config app)
+       config app)
+
+let read_golden path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let check_golden path actual =
+  (* regenerate with: FLOPT_GOLDEN_UPDATE=$PWD/test dune exec test/main.exe -- test fidelity -q *)
+  match Sys.getenv_opt "FLOPT_GOLDEN_UPDATE" with
+  | Some dir ->
+    let oc = open_out_bin (Filename.concat dir path) in
+    output_string oc actual;
+    close_out oc
+  | None -> Alcotest.(check string) "matches golden file" (read_golden path) actual
+
+(* every app of the suite, inter-node layout, default config: the model must
+   reproduce the run exactly — drift 0 everywhere *)
+let test_suite_zero_drift_golden () =
+  let lines =
+    List.map
+      (fun app ->
+        let fd = fidelity_of app in
+        checkb (app.App.name ^ " ok") true (F.ok fd);
+        check (app.App.name ^ " max abs drift") 0 (F.max_abs_drift fd);
+        Report.fidelity_line fd)
+      Suite.all
+  in
+  check_golden "golden_fidelity_suite.expected"
+    (String.concat "\n" lines ^ "\n")
+
+(* predictions made for 32-element blocks against a 64-element-block run:
+   every row must drift and be flagged at zero tolerance *)
+let test_block_mismatch_golden () =
+  let app = Suite.find "cc-ver-1" in
+  let fd = fidelity_of ~predict_block_elems:32 app in
+  checkb "not ok" false (F.ok fd);
+  checkb "has flagged rows" true (F.flagged fd <> []);
+  checkb "nonzero drift" true (F.max_abs_drift fd > 0);
+  check_golden "golden_fidelity_mismatch.expected" (Report.fidelity_summary fd)
+
+let test_sampled_run_still_exact () =
+  let fd = fidelity_of ~sample:8 (Suite.find "wupwise") in
+  checkb "ok under sampling" true (F.ok fd);
+  check "max abs drift" 0 (F.max_abs_drift fd)
+
+let test_default_layout_also_exact () =
+  (* the model is layout-generic: row-major predictions match too *)
+  let app = Suite.find "astro" in
+  let fd, _ =
+    Experiment.fidelity ~layouts:(Experiment.default_layouts app) config app
+  in
+  checkb "ok" true (F.ok fd);
+  check "max abs drift" 0 (F.max_abs_drift fd)
+
+let test_tolerance_masks_drift () =
+  let app = Suite.find "cc-ver-1" in
+  let strict = fidelity_of ~predict_block_elems:32 app in
+  let lax = fidelity_of ~tolerance:0.6 ~predict_block_elems:32 app in
+  checkb "strict flags" true (F.flagged strict <> []);
+  (* the 32-vs-64 mismatch doubles block counts: 50% relative error < 60% *)
+  check "lax flags none" 0 (List.length (F.flagged lax));
+  checkb "same drift either way" true
+    (F.max_abs_drift strict = F.max_abs_drift lax)
+
+let test_predict_layer_expectations () =
+  let app = Suite.find "cc-ver-1" in
+  let fd = fidelity_of app in
+  let p = fd.F.predict in
+  checkb "arrays predicted" true (p.P.arrays <> []);
+  List.iter
+    (fun (ap : P.array_prediction) ->
+      checkb (ap.P.array_name ^ " optimized") true ap.P.optimized;
+      checkb (ap.P.array_name ^ " block aligned") true ap.P.block_aligned;
+      checkb (ap.P.array_name ^ " has layers") true (ap.P.layers <> []);
+      List.iter
+        (fun (l : P.layer_expect) ->
+          checkb "capacity positive" true (l.P.capacity > 0);
+          checkb "sharing positive" true (l.P.threads_sharing > 0);
+          check "whole blocks" 0 (l.P.capacity mod p.P.block_elems))
+        ap.P.layers)
+    p.P.arrays;
+  (* Step II claim: the inter-node layout leaves no block with two owners *)
+  checkb "single owner" true p.P.single_owner;
+  check "cross shared" 0 p.P.cross_shared_blocks
+
+let test_record_publishes_gauges () =
+  let fd = fidelity_of (Suite.find "cc-ver-1") in
+  let registry = Flo_obs.Metrics.create () in
+  F.record fd registry;
+  let labels = [ ("app", "cc-ver-1") ] in
+  List.iter
+    (fun name ->
+      match Flo_obs.Metrics.find registry ~labels name with
+      | Some (Flo_obs.Metrics.Gauge v) ->
+        Alcotest.(check (float 0.)) name 0. v
+      | _ -> Alcotest.failf "gauge %s missing" name)
+    [
+      "fidelity.distinct.max_abs_drift";
+      "fidelity.distinct.max_rel_drift";
+      "fidelity.sharing.abs_drift";
+      "fidelity.flagged_rows";
+      "fidelity.layer_violations";
+    ]
+
+let test_predict_validates_args () =
+  let app = Suite.find "cc-ver-1" in
+  let layouts = Experiment.inter_layouts config app in
+  Alcotest.check_raises "sample 0"
+    (Invalid_argument "Predict.compute: sample < 1") (fun () ->
+      ignore
+        (P.compute ~sample:0 ~block_elems:64 ~threads:4 ~name:"x" ~layouts
+           app.App.program));
+  Alcotest.check_raises "negative tolerance"
+    (Invalid_argument "Fidelity.join: negative tolerance") (fun () ->
+      let fd = fidelity_of app in
+      ignore
+        (F.join ~tolerance:(-0.1) ~predict:fd.F.predict
+           ~observed:(Flo_analysis.Analyzer.create ()) ()))
+
+(* drift arithmetic on synthetic rows *)
+let test_row_drift_arithmetic () =
+  let row predicted observed = { F.thread = 0; file = 0; predicted; observed } in
+  check "abs" 3 (F.abs_drift (row 10 13));
+  Alcotest.(check (float 1e-9)) "rel" 0.3 (F.rel_drift (row 10 13));
+  Alcotest.(check (float 0.)) "both zero" 0. (F.rel_drift (row 0 0));
+  checkb "zero prediction, nonzero observation" true
+    (F.rel_drift (row 0 5) = infinity)
+
+(* flagging is monotone in tolerance: anything flagged at a higher tolerance
+   is flagged at every lower one *)
+let prop_flagged_monotone =
+  QCheck.Test.make ~count:200 ~name:"fidelity flagged monotone in tolerance"
+    QCheck.(
+      triple
+        (small_list (pair (int_bound 50) (int_bound 50)))
+        (float_bound_inclusive 1.) (float_bound_inclusive 1.))
+    (fun (cells, t1, t2) ->
+      let lo = Float.min t1 t2 and hi = Float.max t1 t2 in
+      let rows =
+        List.mapi
+          (fun i (p, o) -> { F.thread = i; file = 0; predicted = p; observed = o })
+          cells
+      in
+      let flagged tol =
+        List.filter (fun r -> F.rel_drift r > tol) rows
+      in
+      List.for_all (fun r -> List.memq r (flagged lo)) (flagged hi))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_flagged_monotone ]
+
+let suite =
+  [
+    ("16-app suite: zero drift under inter (golden)", `Quick, test_suite_zero_drift_golden);
+    ("block-size mismatch drifts and flags (golden)", `Quick, test_block_mismatch_golden);
+    ("sampled run stays exact", `Quick, test_sampled_run_still_exact);
+    ("default layout also exact", `Quick, test_default_layout_also_exact);
+    ("tolerance masks flagging, not drift", `Quick, test_tolerance_masks_drift);
+    ("Step II layer expectations", `Quick, test_predict_layer_expectations);
+    ("record publishes gauges", `Quick, test_record_publishes_gauges);
+    ("argument validation", `Quick, test_predict_validates_args);
+    ("row drift arithmetic", `Quick, test_row_drift_arithmetic);
+  ]
+  @ qsuite

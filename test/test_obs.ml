@@ -510,3 +510,50 @@ let suite =
     ("span phase timing", `Quick, test_span_records);
   ]
   @ qsuite
+
+(* ---- gauges -------------------------------------------------------------- *)
+
+(* last-write-wins cell semantics plus the merge and render contracts the
+   fidelity layer's drift gauges rely on *)
+let gauge_value_gen =
+  (* exactly-representable floats so set/read/merge equality is meaningful *)
+  QCheck.Gen.(map2 (fun m e -> ldexp (float_of_int m) e) (int_range (-4096) 4096) (int_range (-8) 8))
+
+let prop_gauge_roundtrip =
+  QCheck.Test.make ~name:"gauge set/read/merge round-trips" ~count:200
+    (QCheck.make QCheck.Gen.(pair gauge_value_gen gauge_value_gen))
+    (fun (v1, v2) ->
+      let r1 = Metrics.create () and r2 = Metrics.create () in
+      let g1 = Metrics.gauge r1 ~labels:[ ("app", "x") ] "fidelity.drift" in
+      Metrics.set_gauge g1 v1;
+      (* re-registration returns the same cell *)
+      let g1' = Metrics.gauge r1 ~labels:[ ("app", "x") ] "fidelity.drift" in
+      Metrics.set_gauge g1' v1;
+      let g2 = Metrics.gauge r2 ~labels:[ ("app", "x") ] "fidelity.drift" in
+      Metrics.set_gauge g2 v2;
+      Metrics.gauge_value g1 = v1
+      && Metrics.find r1 ~labels:[ ("app", "x") ] "fidelity.drift" = Some (Metrics.Gauge v1)
+      && (* merge takes the max, in either order *)
+      Metrics.find (Metrics.merge r1 r2) ~labels:[ ("app", "x") ] "fidelity.drift"
+         = Some (Metrics.Gauge (Float.max v1 v2))
+      && Metrics.find (Metrics.merge r2 r1) ~labels:[ ("app", "x") ] "fidelity.drift"
+         = Some (Metrics.Gauge (Float.max v1 v2)))
+
+let test_gauge_render () =
+  let r = Metrics.create () in
+  Metrics.set_gauge (Metrics.gauge r ~labels:[ ("app", "toy") ] "fidelity.max_rel_drift") 0.5;
+  Metrics.set_gauge (Metrics.gauge r "plain") 3.;
+  let rendered = Format.asprintf "%a" Metrics.pp r in
+  let contains needle =
+    let n = String.length needle and h = String.length rendered in
+    let rec go i = i + n <= h && (String.sub rendered i n = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "labeled gauge line" true
+    (contains "fidelity.max_rel_drift{app=toy} = 0.5");
+  checkb "unlabeled gauge line" true (contains "plain = 3")
+
+let suite =
+  suite
+  @ [ ("gauge render", `Quick, test_gauge_render) ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_gauge_roundtrip ]
