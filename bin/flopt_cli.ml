@@ -79,6 +79,21 @@ let metrics_arg =
 
 let config = Config.default
 
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for app/rep fan-out (default: \
+                 \\$FLOPT_JOBS or the machine's core count; 1 = the \
+                 sequential reference path).  Results are identical for \
+                 every value.")
+
+let resolve_jobs = function
+  | None -> Parallel.default_jobs ()
+  | Some n when n >= 1 -> n
+  | Some _ ->
+    prerr_endline "flopt: --jobs must be a positive integer";
+    exit 2
+
 (* run with the observability layer attached per the --trace/--metrics
    flags; the trace file is flushed and closed even if the run raises
    (Sink.with_jsonl), so a crashed simulation still leaves a parseable
@@ -188,27 +203,51 @@ let bench_cmd =
          & info [ "readahead" ] ~docv:"K"
              ~doc:"Storage-node sequential prefetch depth per disk read.")
   in
-  let run app layout_mode caching reps readahead =
+  let run app layout_mode caching reps readahead jobs =
     if reps <= 0 then begin
       prerr_endline "flopt: bench: --reps must be positive";
       exit 2
     end;
-    let registry = Flo_obs.Metrics.create () in
+    let jobs = resolve_jobs jobs in
     let layouts =
       match layout_mode with
       | Default | Reindexed | Compmapped -> Experiment.default_layouts app
       | Inter -> Experiment.inter_layouts config app
     in
-    let elapsed = ref [] in
-    let last = ref None in
-    for _ = 1 to reps do
-      let r = Run.run ~caching ~readahead ~metrics:registry ~config ~layouts app in
-      elapsed := r.Run.elapsed_us :: !elapsed;
-      last := Some r
-    done;
+    let registry, results =
+      if jobs <= 1 then begin
+        (* the sequential reference: one registry accumulated across reps *)
+        let registry = Flo_obs.Metrics.create () in
+        let rs =
+          Array.init reps (fun _ ->
+              Run.run ~caching ~readahead ~metrics:registry ~config ~layouts app)
+        in
+        (registry, rs)
+      end
+      else begin
+        (* each rep simulates into its own registry on the domain pool;
+           merging in rep order keeps the report deterministic *)
+        let pairs =
+          Parallel.map ~jobs
+            (fun _rep ->
+              let registry = Flo_obs.Metrics.create () in
+              let r = Run.run ~caching ~readahead ~metrics:registry ~config ~layouts app in
+              (registry, r))
+            (Array.init reps Fun.id)
+        in
+        let merged =
+          Array.fold_left
+            (fun acc (reg, _) -> Flo_obs.Metrics.merge acc reg)
+            (Flo_obs.Metrics.create ()) pairs
+        in
+        (merged, Array.map snd pairs)
+      end
+    in
+    let elapsed = Array.to_list (Array.map (fun r -> r.Run.elapsed_us) results) in
+    let last = Some results.(Array.length results - 1) in
     Printf.printf "%s: %d rep(s), modeled time %s ms (mean)\n\n" app.App.name reps
-      (Report.ms (Report.mean !elapsed));
-    Option.iter (print_metrics registry) !last;
+      (Report.ms (Report.mean elapsed));
+    Option.iter (print_metrics registry) last;
     List.iter
       (fun (name, labels, value) ->
         match value with
@@ -219,7 +258,8 @@ let bench_cmd =
       (Flo_obs.Metrics.to_list registry)
   in
   Cmd.v (Cmd.info "bench" ~doc)
-    Term.(const run $ app_arg $ layout_arg $ caching_arg $ reps_arg $ readahead_arg)
+    Term.(const run $ app_arg $ layout_arg $ caching_arg $ reps_arg $ readahead_arg
+          $ jobs_arg)
 
 let analyze_cmd =
   let doc =
@@ -431,8 +471,9 @@ let fidelity_cmd =
     "Check the compiler's cost model against an actual simulated execution: \
      per-thread distinct-block counts (Step I, Eq. 4) and cross-thread \
      sharing (Step II), predicted analytically and observed from the run's \
-     event stream, with per-row drift.  Exits 1 when any drift exceeds the \
-     tolerance."
+     event stream, with per-row drift.  Without $(i,APP), sweeps the whole \
+     16-application suite ($(b,--jobs) apps at a time) and prints one summary \
+     row per app.  Exits 1 when any drift exceeds the tolerance."
   in
   let tolerance_arg =
     Arg.(value & opt float 0.
@@ -453,7 +494,11 @@ let fidelity_cmd =
              ~doc:"Profile-mode sampling factor applied to both the run and \
                    the prediction.")
   in
-  let run app layout_mode scope tolerance predict_block_elems sample =
+  let suite_app_arg =
+    Arg.(value & pos 0 (some app_conv) None
+         & info [] ~docv:"APP" ~doc:"Application name (omit to sweep the whole suite).")
+  in
+  let run app layout_mode scope tolerance predict_block_elems sample jobs =
     if tolerance < 0. then begin
       prerr_endline "flopt: fidelity: --tolerance must be non-negative";
       exit 2
@@ -462,7 +507,7 @@ let fidelity_cmd =
       prerr_endline "flopt: fidelity: --sample must be positive";
       exit 2
     end;
-    let layouts =
+    let layouts_for app =
       match layout_mode with
       | Default -> Experiment.default_layouts app
       | Inter -> Experiment.inter_layouts ~scope config app
@@ -475,15 +520,45 @@ let fidelity_cmd =
         prerr_endline "flopt: fidelity: --layout compmap is not predictable";
         exit 2
     in
-    let fd, _result =
-      Experiment.fidelity ~tolerance ?predict_block_elems ~sample ~layouts config app
+    let fidelity_of app =
+      fst
+        (Experiment.fidelity ~tolerance ?predict_block_elems ~sample
+           ~layouts:(layouts_for app) config app)
     in
-    Report.print_fidelity fd;
-    if not (Flo_fidelity.Fidelity.ok fd) then exit 1
+    match app with
+    | Some app ->
+      let fd = fidelity_of app in
+      Report.print_fidelity fd;
+      if not (Flo_fidelity.Fidelity.ok fd) then exit 1
+    | None ->
+      (* suite mode: one self-contained fidelity join per app, fanned over
+         the domain pool; rows come back in suite order for any --jobs *)
+      let jobs = resolve_jobs jobs in
+      let fds = Experiment.map_apps ~jobs fidelity_of Suite.all in
+      let rows =
+        List.map
+          (fun (fd : Flo_fidelity.Fidelity.t) ->
+            [
+              fd.Flo_fidelity.Fidelity.app;
+              string_of_int (List.length fd.Flo_fidelity.Fidelity.rows);
+              string_of_int (List.length (Flo_fidelity.Fidelity.flagged fd));
+              Printf.sprintf "%.4f" (Flo_fidelity.Fidelity.max_rel_drift fd);
+              Printf.sprintf "%.4f" (Flo_fidelity.Fidelity.sharing_rel_drift fd);
+              (if Flo_fidelity.Fidelity.ok fd then "ok" else "DRIFT");
+            ])
+          fds
+      in
+      Report.print_table
+        ~title:
+          (Printf.sprintf "fidelity: 16-app suite (tolerance %.3g, sample %d)" tolerance
+             sample)
+        ~header:[ "application"; "rows"; "flagged"; "max rel drift"; "sharing drift"; "status" ]
+        rows;
+      if not (List.for_all Flo_fidelity.Fidelity.ok fds) then exit 1
   in
   Cmd.v (Cmd.info "fidelity" ~doc)
-    Term.(const run $ app_arg $ layout_arg $ scope_arg $ tolerance_arg
-          $ predict_block_arg $ sample_arg)
+    Term.(const run $ suite_app_arg $ layout_arg $ scope_arg $ tolerance_arg
+          $ predict_block_arg $ sample_arg $ jobs_arg)
 
 let topology_cmd =
   let doc = "Print the default (scaled Table 1) system configuration." in

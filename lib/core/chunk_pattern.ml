@@ -1,6 +1,12 @@
 type layer = { capacity : int; fanout : int }
 
-type t = { threads : int; layers : layer array; chunk : int; reps : int array }
+type t = {
+  threads : int;
+  layers : layer array;
+  chunk : int;
+  reps : int array;
+  bases : int array;
+}
 
 let validate layers =
   if Array.length layers = 0 then invalid_arg "Chunk_pattern: no layers";
@@ -25,7 +31,19 @@ let make ~layers =
   in
   Array.iter (fun t -> if t < 1 then invalid_arg "Chunk_pattern.make: t_i < 1") reps;
   let threads = Array.fold_left (fun acc ly -> acc * ly.fanout) 1 layers in
-  { threads; layers = Array.copy layers; chunk; reps }
+  (* a thread's base address never changes once the layers are fixed, and
+     [offset] reads it on every element of every stream: table it here *)
+  let base_of thread =
+    let acc = ref (thread mod l * chunk) in
+    let div = ref l in
+    for li = 1 to n - 1 do
+      let { capacity; fanout } = layers.(li) in
+      acc := !acc + (thread / !div mod fanout * (capacity / fanout));
+      div := !div * fanout
+    done;
+    !acc
+  in
+  { threads; layers = Array.copy layers; chunk; reps; bases = Array.init threads base_of }
 
 let fit ?(align = 1) ~layers () =
   validate layers;
@@ -50,16 +68,7 @@ let thread_base t = period t / t.threads
 
 let base t ~thread =
   if thread < 0 || thread >= t.threads then invalid_arg "Chunk_pattern.base: bad thread";
-  let n = Array.length t.layers in
-  let l = t.layers.(0).fanout in
-  let acc = ref ((thread mod l) * t.chunk) in
-  let div = ref l in
-  for li = 1 to n - 1 do
-    let { capacity; fanout } = t.layers.(li) in
-    acc := !acc + (thread / !div mod fanout * (capacity / fanout));
-    div := !div * fanout
-  done;
-  !acc
+  t.bases.(thread)
 
 let offset t ~thread ~rank =
   if rank < 0 then invalid_arg "Chunk_pattern.offset: negative rank";

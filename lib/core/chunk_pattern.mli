@@ -20,6 +20,8 @@ type t = private {
   layers : layer array;
   chunk : int;  (** S_1 / l, elements per chunk *)
   reps : int array;  (** [reps.(i-1) = t_i] for [i = 1 .. n-1] *)
+  bases : int array;  (** memoized {!base} per thread — the layer parameters
+                          never change after construction *)
 }
 
 val make : layers:layer array -> t

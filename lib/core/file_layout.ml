@@ -12,6 +12,12 @@ type internode = {
   v_base : int;  (** first slab boundary in [0, slab_height) *)
   anchor : int;  (** slab index holding the image origin (iteration block 0) *)
   pattern : Chunk_pattern.t;
+  rest : int;  (** memoized product of the non-partition extents *)
+  slab_elems : int;  (** memoized [slab_height * rest] *)
+  rest_strides : int array;
+      (** memoized row-major strides of the non-partition dimensions:
+          [lin_rest a' = sum_k rest_strides.(k) * a'.(k)] with the partition
+          dimension's stride zeroed *)
 }
 
 type t =
@@ -60,7 +66,22 @@ let internode ~space ~d ~v ~num_blocks ~v_origin ~slab_height ~pattern =
   let origin = max 0 (min origin (ext.(v) - 1)) in
   let v_base = origin mod slab_height in
   let anchor = if v_base = 0 then origin / slab_height else (origin / slab_height) + 1 in
-  Internode { space; d; v; shift; ext; num_blocks; slab_height; v_base; anchor; pattern }
+  (* Step II parameters are pure functions of the layers and the bbox, so
+     derive them once here instead of on every offset_of call *)
+  let rest_strides = Array.make m 0 in
+  let rest = ref 1 in
+  for k = m - 1 downto 0 do
+    if k <> v then begin
+      rest_strides.(k) <- !rest;
+      rest := !rest * ext.(k)
+    end
+  done;
+  let rest = !rest in
+  Internode
+    {
+      space; d; v; shift; ext; num_blocks; slab_height; v_base; anchor; pattern;
+      rest; slab_elems = slab_height * rest; rest_strides;
+    }
 
 let space = function
   | Row_major s | Col_major s | Permuted (s, _) -> s
@@ -82,31 +103,30 @@ let slab_start i j =
 
 let total_slabs i = slab_index i (i.ext.(i.v) - 1) + 1
 
-let rest_prod i =
-  let p = ref 1 in
-  Array.iteri (fun k e -> if k <> i.v then p := !p * e) i.ext;
-  !p
-
 (* linearize the non-partition dimensions row-major, in original order *)
 let lin_rest i a' =
   let acc = ref 0 in
-  Array.iteri (fun k x -> if k <> i.v then acc := (!acc * i.ext.(k)) + x) a';
+  Array.iteri (fun k x -> acc := !acc + (i.rest_strides.(k) * x)) a';
   !acc
 
-let internode_coords i a =
-  let a' = Ivec.add (Imat.mul_vec i.d a) i.shift in
-  let vv = a'.(i.v) in
+let slab_coords i ~vv ~lin_rest =
   let j = slab_index i vv in
   let threads = Chunk_pattern.threads i.pattern in
   (* iteration block b's image is slab (anchor + b): owner (j - anchor) mod T
      keeps data owners aligned with the round-robin block distribution *)
   let owner = (((j - i.anchor) mod threads) + threads) mod threads in
-  let rest = rest_prod i in
-  let slab_elems = i.slab_height * rest in
   let round = j / threads in
-  let lin_in_slab = ((vv - slab_start i j) * rest) + lin_rest i a' in
-  let rank = (round * slab_elems) + lin_in_slab in
+  let lin_in_slab = ((vv - slab_start i j) * i.rest) + lin_rest in
+  let rank = (round * i.slab_elems) + lin_in_slab in
   (owner, rank)
+
+let internode_coords i a =
+  let a' = Ivec.add (Imat.mul_vec i.d a) i.shift in
+  slab_coords i ~vv:a'.(i.v) ~lin_rest:(lin_rest i a')
+
+let offset_of_transformed i ~vv ~lin_rest =
+  let owner, rank = slab_coords i ~vv ~lin_rest in
+  Chunk_pattern.offset i.pattern ~thread:owner ~rank
 
 let offset_of t a =
   if not (Data_space.mem (space t) a) then invalid_arg "File_layout.offset_of: out of range";
@@ -121,12 +141,41 @@ let offset_of t a =
     let owner, rank = internode_coords i a in
     Chunk_pattern.offset i.pattern ~thread:owner ~rank
 
+(* strides making each canonical layout a plain dot product:
+   [offset_of t a = sum_k strides.(k) * a.(k)]; the inter-node layout is
+   piecewise and has no such global linear form *)
+let linear_strides t =
+  match t with
+  | Internode _ -> None
+  | Row_major s ->
+    let m = Data_space.rank s in
+    let strides = Array.make m 1 in
+    for k = m - 2 downto 0 do
+      strides.(k) <- strides.(k + 1) * Data_space.extent s (k + 1)
+    done;
+    Some strides
+  | Col_major s ->
+    let m = Data_space.rank s in
+    let strides = Array.make m 1 in
+    for k = 1 to m - 1 do
+      strides.(k) <- strides.(k - 1) * Data_space.extent s (k - 1)
+    done;
+    Some strides
+  | Permuted (s, order) ->
+    let m = Data_space.rank s in
+    let strides = Array.make m 1 in
+    let acc = ref 1 in
+    for j = m - 1 downto 0 do
+      strides.(order.(j)) <- !acc;
+      acc := !acc * Data_space.extent s order.(j)
+    done;
+    Some strides
+
 let size t =
   match t with
   | Row_major s | Col_major s | Permuted (s, _) -> Data_space.cardinal s
   | Internode i ->
-    let rest = rest_prod i in
-    let slab_elems = i.slab_height * rest in
+    let slab_elems = i.slab_elems in
     let threads = Chunk_pattern.threads i.pattern in
     let total = total_slabs i in
     let best = ref 0 in

@@ -25,6 +25,11 @@ type internode = {
   v_base : int;  (** first slab boundary, in [0, slab_height) *)
   anchor : int;  (** slab index of the image origin (iteration block 0) *)
   pattern : Chunk_pattern.t;
+  rest : int;  (** product of the non-partition bbox extents (memoized) *)
+  slab_elems : int;  (** [slab_height * rest] (memoized) *)
+  rest_strides : int array;
+      (** row-major strides of the non-partition dimensions, partition
+          dimension zeroed: the linearization used inside one slab row *)
 }
 
 type t =
@@ -70,6 +75,32 @@ val size : t -> int
 val owner_of : t -> Ivec.t -> int option
 (** For [Internode]: the thread whose region the element falls in.  [None]
     for canonical layouts. *)
+
+(** {1 Strength-reduction hooks}
+
+    The trace-generation fast path evaluates offsets incrementally over
+    consecutive loop iterations instead of through {!offset_of}'s
+    per-element transform + division chain.  These expose exactly the
+    decomposition it needs; both agree with {!offset_of} by construction
+    (shared implementation) and by the golden equality tests. *)
+
+val linear_strides : t -> int array option
+(** For the canonical layouts: strides such that
+    [offset_of t a = sum_k strides.(k) * a.(k)] for every in-range [a]
+    (all three are linear in the element coordinates).  [None] for
+    [Internode], which is only piecewise linear. *)
+
+val slab_coords : internode -> vv:int -> lin_rest:int -> int * int
+(** [(owner, rank)] of the element whose {e transformed, shifted}
+    coordinates have partition component [vv] and non-partition
+    linearization [lin_rest] (per [rest_strides]).  Both inputs are affine
+    in the original element coordinates, hence in the iteration vector. *)
+
+val offset_of_transformed : internode -> vv:int -> lin_rest:int -> int
+(** {!slab_coords} composed with the Step II chunk pattern: the file offset.
+    [offset_of (Internode i) a] equals
+    [offset_of_transformed i ~vv:a'.(v) ~lin_rest:(strides . a')] for
+    [a' = D a + shift]. *)
 
 val slab_height : internode -> int
 

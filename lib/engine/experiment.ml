@@ -99,6 +99,8 @@ let random_mapping ~seed config =
   done;
   Array.init threads (fun t -> perm.(t mod compute))
 
+let map_apps ?jobs f apps = Parallel.map_list ?jobs f apps
+
 (* The fidelity loop: run with a live analyzer attached, recompute the
    compiler-side predictions under the same parallelization parameters (or
    deliberately different ones via [predict_block_elems]), and join. *)

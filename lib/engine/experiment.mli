@@ -61,6 +61,11 @@ val random_mapping : seed:int -> Config.t -> int array
 (** Deterministic pseudo-random thread-to-compute-node permutation
     (Mappings II-IV of Fig. 7(b) use seeds 1-3). *)
 
+val map_apps : ?jobs:int -> (App.t -> 'a) -> App.t list -> 'a list
+(** {!Parallel.map_list} specialized to app sweeps: [f] runs once per app
+    on a domain pool, results return in app order.  Every driver above is
+    safe as [f] — they share no mutable state across apps. *)
+
 val fidelity :
   ?tolerance:float ->
   ?mapping:int array ->

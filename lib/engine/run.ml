@@ -48,18 +48,23 @@ let karma_hints_of_streams ~io_of_thread ~io_nodes weighted_streams =
                   Hashtbl.replace per_file file (min lo idx, max hi idx, n + 1))
               blocks;
             let io = io_of_thread thread in
-            Hashtbl.iter
-              (fun file (lo, hi, n) ->
-                let hint =
-                  {
-                    Karma.file;
-                    lo_block = lo;
-                    hi_block = hi;
-                    accesses = float_of_int (n * weight);
-                  }
-                in
-                hints.(io) <- hint :: hints.(io))
-              per_file
+            (* Hashtbl.iter order is unspecified and varies with the hash
+               seed; sort so the hint list (and thus Karma's partition of
+               ties) is deterministic.  Descending fold + cons = hints
+               ascending by (file, lo_block) within this contribution. *)
+            Hashtbl.fold (fun file range acc -> (file, range) :: acc) per_file []
+            |> List.sort (fun (fa, (la, _, _)) (fb, (lb, _, _)) ->
+                   compare (fb, lb) (fa, la))
+            |> List.iter (fun (file, (lo, hi, n)) ->
+                   let hint =
+                     {
+                       Karma.file;
+                       lo_block = lo;
+                       hi_block = hi;
+                       accesses = float_of_int (n * weight);
+                     }
+                   in
+                   hints.(io) <- hint :: hints.(io))
           end)
         streams)
     weighted_streams;

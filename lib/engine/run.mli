@@ -63,6 +63,8 @@ val karma_hints_of_streams :
   Karma.hint list array
 (** Per-I/O-node hint lists from weighted per-nest streams (exposed for
     tests): one hint per (thread, nest, file) giving its block range and
-    request count. *)
+    request count.  Each (thread, nest) contribution is sorted ascending by
+    [(file, lo_block)], so the result is a pure function of the streams —
+    independent of hash-table iteration order. *)
 
 val pp_result : Format.formatter -> result -> unit

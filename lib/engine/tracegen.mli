@@ -28,7 +28,30 @@ val nest_streams :
     block-to-thread map ([cluster] = threads per layer-1 cache, required
     with [assign]).  [sample > 1] keeps the first [1/sample] of each
     thread's iterations (a prefix preserves contiguity) — profile mode.  The per-nest block count is capped by the nest's
-    parallel extent. *)
+    parallel extent.
+
+    This is the strength-reduced fast path: per-reference offsets are
+    tracked as incremental affine cursors over the lexicographic walk
+    (via {!File_layout.linear_strides} / {!File_layout.offset_of_transformed})
+    and streams are accumulated in preallocated int buffers, so the hot
+    loop performs no per-element allocation, transform, or division.
+    Element-for-element identical to {!reference_streams}. *)
+
+val reference_streams :
+  layouts:(int -> File_layout.t) ->
+  block_elems:int ->
+  threads:int ->
+  blocks_per_thread:int ->
+  ?assign:Compmap.strategy ->
+  ?cluster:int ->
+  ?sample:int ->
+  Loop_nest.t ->
+  Block.t array array
+(** The original naive generator — evaluates {!Access.eval} and
+    {!File_layout.offset_of} per element — retained as the executable
+    specification of the stream semantics.  The golden equality tests
+    assert [nest_streams = reference_streams] across the whole workload
+    suite; use this (or [--jobs 1]) when auditing the fast path. *)
 
 val iterations_per_thread :
   threads:int -> blocks_per_thread:int -> ?sample:int -> Loop_nest.t -> int array

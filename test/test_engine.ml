@@ -127,6 +127,29 @@ let test_karma_hints () =
     Alcotest.(check (float 1e-9)) "weighted accesses" 4. h.Karma.accesses
   | l -> Alcotest.failf "expected one hint, got %d" (List.length l)
 
+let test_karma_hints_ordered () =
+  (* one thread touching several files: the hint order must be the sorted
+     (file, lo_block) order, not whatever Hashtbl.iter happens to yield *)
+  let streams =
+    [|
+      [|
+        Block.make ~file:5 ~index:7;
+        Block.make ~file:1 ~index:2;
+        Block.make ~file:3 ~index:0;
+        Block.make ~file:1 ~index:4;
+      |];
+    |]
+  in
+  let hints =
+    Run.karma_hints_of_streams ~io_of_thread:(fun _ -> 0) ~io_nodes:1 [ (1, streams) ]
+  in
+  let keys =
+    List.map (fun (h : Karma.hint) -> (h.Karma.file, h.Karma.lo_block)) hints.(0)
+  in
+  Alcotest.(check (list (pair int int))) "hints sorted by (file, lo_block)"
+    [ (1, 2); (3, 0); (5, 7) ]
+    keys
+
 (* ---- The headline shapes (one app per group, full scale) ----------------- *)
 
 let full = Config.default
@@ -181,6 +204,7 @@ let suite =
     ("run caching variants", `Quick, test_run_caching_variants);
     ("thread mapping permutations", `Quick, test_run_mapping_permutation);
     ("karma hints from streams", `Quick, test_karma_hints);
+    ("karma hints deterministic order", `Quick, test_karma_hints_ordered);
     ("shape: group 1 app", `Slow, test_shape_group1);
     ("shape: group 2 app", `Slow, test_shape_group2);
     ("shape: group 3 app", `Slow, test_shape_group3);
