@@ -560,6 +560,80 @@ let fidelity_cmd =
     Term.(const run $ suite_app_arg $ layout_arg $ scope_arg $ tolerance_arg
           $ predict_block_arg $ sample_arg $ jobs_arg)
 
+let chaos_cmd =
+  let doc =
+    "Sweep fault intensity over an application: at each scale, run the \
+     default and the compiler-optimized layouts under the same seeded fault \
+     plan (transient read errors, latency spikes, degraded nodes, offline \
+     caches, stripe failover) and report modeled-time and L2-miss deltas \
+     plus fault/retry/timeout/failover counters.  Scale 0 is the fault-free \
+     reference, byte-identical to $(b,flopt run).  Identical seed and plan \
+     give byte-identical results at every $(b,--jobs) setting."
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Fault-plan seed; every stochastic draw derives from it \
+                   (replay-exact).")
+  in
+  let faults_arg =
+    Arg.(value & opt string "read-error:rate=0.02;latency:rate=0.05,mult=4"
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Fault plan, ';'-separated clauses: \
+                   read-error:rate=R[,node=N]; latency:rate=R,mult=M[,node=N]; \
+                   degrade:mult=M[,node=N]; cache-off:node=N; \
+                   failover:node=N[,to=N']; \
+                   retry:[max=K][,base=US][,mult=M][,jitter=J][,timeout=US].")
+  in
+  let scales_arg =
+    Arg.(value & opt (list float) [ 0.; 0.5; 1.; 2. ]
+         & info [ "rates" ] ~docv:"S1,S2,..."
+             ~doc:"Fault-intensity scales to sweep (0 = fault-free reference).")
+  in
+  let opt_int name doc =
+    Arg.(value & opt (some int) None & info [ name ] ~docv:"N" ~doc)
+  in
+  let storage_nodes_arg = opt_int "storage-nodes" "Override the storage-node count." in
+  let io_nodes_arg = opt_int "io-nodes" "Override the I/O-node count." in
+  let compute_nodes_arg = opt_int "compute-nodes" "Override the compute-node count." in
+  let block_elems_arg = opt_int "block-elems" "Override the block size in elements." in
+  let run app seed faults_spec scales caching scope jobs compute_nodes io_nodes
+      storage_nodes block_elems =
+    let config =
+      match Config.build ?compute_nodes ?io_nodes ?storage_nodes ?block_elems () with
+      | Ok c -> c
+      | Error e ->
+        Printf.eprintf "flopt: chaos: %s\n" (Config.invalid_config_to_string e);
+        exit 2
+    in
+    let plan =
+      match Flo_faults.Fault_plan.of_string faults_spec with
+      | Ok p -> Flo_faults.Fault_plan.with_seed p seed
+      | Error msg ->
+        Printf.eprintf "flopt: chaos: bad --faults spec: %s\n" msg;
+        exit 2
+    in
+    if scales = [] then begin
+      prerr_endline "flopt: chaos: --rates must list at least one scale";
+      exit 2
+    end;
+    let jobs = resolve_jobs jobs in
+    Printf.printf "fault plan: %s\n\n" (Flo_faults.Fault_plan.to_string plan);
+    print_string (Report.degradation_summary (Experiment.inter_plan ~scope config app));
+    print_newline ();
+    let points =
+      try Experiment.chaos ~scales ~caching ~scope ~jobs ~plan config app
+      with Invalid_argument msg ->
+        Printf.eprintf "flopt: chaos: %s\n" msg;
+        exit 2
+    in
+    Report.print_chaos ~app:app.App.name ~seed points
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ app_arg $ seed_arg $ faults_arg $ scales_arg $ caching_arg
+          $ scope_arg $ jobs_arg $ compute_nodes_arg $ io_nodes_arg
+          $ storage_nodes_arg $ block_elems_arg)
+
 let topology_cmd =
   let doc = "Print the default (scaled Table 1) system configuration." in
   let run () =
@@ -576,4 +650,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ apps_cmd; plan_cmd; run_cmd; bench_cmd; analyze_cmd; bench_diff_cmd;
-            fidelity_cmd; layout_cmd; trace_cmd; topology_cmd ]))
+            chaos_cmd; fidelity_cmd; layout_cmd; trace_cmd; topology_cmd ]))

@@ -29,6 +29,10 @@ let kind_index = function
   | Event.Demote -> 4
   | Event.Prefetch -> 5
   | Event.Disk_read -> 6
+  | Event.Fault -> 7
+  | Event.Retry -> 8
+  | Event.Timeout -> 9
+  | Event.Failover -> 10
 
 let create ?(keep_events = false) () =
   {
@@ -38,7 +42,7 @@ let create ?(keep_events = false) () =
     keep_events;
     events_rev = [];
     event_count = 0;
-    kind_counts = Array.make 7 0;
+    kind_counts = Array.make 11 0;
     t_min = infinity;
     t_max = neg_infinity;
     disk_us = 0.;
@@ -75,7 +79,9 @@ let feed t (e : Event.t) =
     Sharing.evict (find_or t.sharing c Sharing.create) ~thread:e.Event.thread
       ~file:e.Event.file ~block:e.Event.block
   | Event.Disk_read -> t.disk_us <- t.disk_us +. e.Event.latency_us
-  | Event.Demote | Event.Prefetch -> ()
+  (* failed attempts and failover reads occupy the disks too *)
+  | Event.Fault | Event.Failover -> t.disk_us <- t.disk_us +. e.Event.latency_us
+  | Event.Demote | Event.Prefetch | Event.Retry | Event.Timeout -> ()
 
 let sink t = Sink.callback (feed t)
 

@@ -119,9 +119,24 @@ let to_buffer buf events =
           r.disk_us <- r.disk_us +. e.Event.latency_us
         | None -> ());
         instant e "disk_read"
+      | Event.Failover ->
+        (* a failover read resolves the open request at the replica disk *)
+        (match Hashtbl.find_opt open_requests thread with
+        | Some r ->
+          r.outcome <- O_disk;
+          r.disk_us <- r.disk_us +. e.Event.latency_us
+        | None -> ());
+        instant e "failover"
+      | Event.Fault ->
+        (match Hashtbl.find_opt open_requests thread with
+        | Some r -> r.disk_us <- r.disk_us +. e.Event.latency_us
+        | None -> ());
+        instant e "fault"
       | Event.Evict -> instant e "evict"
       | Event.Demote -> instant e "demote"
       | Event.Prefetch -> instant e "prefetch"
+      | Event.Retry -> instant e "retry"
+      | Event.Timeout -> instant e "timeout"
       | Event.Miss -> ())
     events;
   Hashtbl.fold (fun thread r acc -> (thread, r) :: acc) open_requests []

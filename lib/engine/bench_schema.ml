@@ -336,13 +336,24 @@ let of_json j =
   let* () = validate t in
   Ok t
 
+(* Atomic: write a side file and rename it onto [path] only after a
+   successful close, so an interrupted save (crash, ^C, full disk) can
+   never leave a truncated manifest where a baseline used to be. *)
 let save path t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc (Json.to_string (to_json t));
-      output_char oc '\n')
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (match
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         output_string oc (Json.to_string (to_json t));
+         output_char oc '\n')
+   with
+  | () -> ()
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Sys.rename tmp path
 
 let load path =
   match

@@ -76,6 +76,10 @@ val to_json : t -> Json.t
 val of_json : Json.t -> (t, string) result
 
 val save : string -> t -> unit
+(** Atomic: writes [path ^ ".tmp"] and renames it onto [path] only after a
+    successful close, so an interrupted save never leaves a truncated
+    manifest — the previous contents of [path] survive instead. *)
+
 val load : string -> (t, string) result
 (** I/O, parse, and {!validate} errors all surface as [Error]. *)
 

@@ -27,6 +27,95 @@ let with_topology t topology = { t with topology }
 
 let threads t = Topology.threads t.topology
 
+type invalid_config =
+  | Non_positive of { field : string; value : int }
+  | Indivisible of { field : string; value : int; divisor : int }
+  | Step2_indivisible of { layer : int; capacity : int; unit_ : int }
+
+let invalid_config_to_string = function
+  | Non_positive { field; value } ->
+    Printf.sprintf "invalid_config: %s must be positive (got %d)" field value
+  | Indivisible { field; value; divisor } ->
+    Printf.sprintf "invalid_config: %s (%d) must be a multiple of %d" field value divisor
+  | Step2_indivisible { layer; capacity; unit_ } ->
+    Printf.sprintf
+      "invalid_config: Step II layer %d capacity %d is not a multiple of its chunk unit \
+       %d (S_i+1 must be a multiple of N_i+1 * S_i)"
+      layer capacity unit_
+
+let ( let* ) = Result.bind
+
+let positive field value =
+  if value > 0 then Ok () else Error (Non_positive { field; value })
+
+let divides field value divisor =
+  if divisor > 0 && value mod divisor = 0 then Ok ()
+  else Error (Indivisible { field; value; divisor })
+
+let validate t =
+  let topo = t.topology in
+  let* () = positive "compute_nodes" topo.Topology.compute_nodes in
+  let* () = positive "io_nodes" topo.Topology.io_nodes in
+  let* () = positive "storage_nodes" topo.Topology.storage_nodes in
+  let* () = positive "threads_per_compute" topo.Topology.threads_per_compute in
+  let* () = positive "block_elems" topo.Topology.block_elems in
+  let* () = positive "io_cache_blocks" topo.Topology.io_cache_blocks in
+  let* () = positive "storage_cache_blocks" topo.Topology.storage_cache_blocks in
+  let* () = divides "compute_nodes" topo.Topology.compute_nodes topo.Topology.io_nodes in
+  let* () = divides "io_nodes" topo.Topology.io_nodes topo.Topology.storage_nodes in
+  let* () = positive "blocks_per_thread" t.blocks_per_thread in
+  let* () = positive "quantum" t.quantum in
+  let* () = positive "client_buffer_blocks" t.client_buffer_blocks in
+  Ok ()
+
+(* The strict Step II divisibility law (Section 3.2): with layer capacities
+   S_1..S_n and fanouts N_1..N_n, every chunk count t_i = S_i+1 / (N_i+1 *
+   S_i) must be a positive integer (and S_1 / N_1 likewise).  Chunk_pattern
+   self-heals mildly-misaligned capacities when building from a topology;
+   this validator is the structured front door for user-supplied layers,
+   where a violation used to surface as Division_by_zero or an assert. *)
+let validate_layers (layers : Chunk_pattern.layer array) =
+  let n = Array.length layers in
+  let* () = if n > 0 then Ok () else Error (Non_positive { field = "layers"; value = 0 }) in
+  let rec go i =
+    if i >= n then Ok ()
+    else
+      let l = layers.(i) in
+      let* () = positive (Printf.sprintf "layer %d capacity" i) l.Chunk_pattern.capacity in
+      let* () = positive (Printf.sprintf "layer %d fanout" i) l.Chunk_pattern.fanout in
+      let unit_ =
+        if i = 0 then l.Chunk_pattern.fanout
+        else l.Chunk_pattern.fanout * layers.(i - 1).Chunk_pattern.capacity
+      in
+      let* () =
+        if unit_ > 0 && l.Chunk_pattern.capacity mod unit_ = 0 then Ok ()
+        else Error (Step2_indivisible { layer = i; capacity = l.Chunk_pattern.capacity; unit_ })
+      in
+      go (i + 1)
+  in
+  go 0
+
+let build ?(compute_nodes = 64) ?(io_nodes = 16) ?(storage_nodes = 4) ?(block_elems = 64)
+    ?(io_cache_blocks = 256) ?(storage_cache_blocks = 512) ?(blocks_per_thread = 1)
+    ?(quantum = 4) () =
+  (* validate before Topology.make so a bad shape is a structured error,
+     not an Invalid_argument from deep inside the storage layer *)
+  let* () = positive "compute_nodes" compute_nodes in
+  let* () = positive "io_nodes" io_nodes in
+  let* () = positive "storage_nodes" storage_nodes in
+  let* () = positive "block_elems" block_elems in
+  let* () = positive "io_cache_blocks" io_cache_blocks in
+  let* () = positive "storage_cache_blocks" storage_cache_blocks in
+  let* () = positive "blocks_per_thread" blocks_per_thread in
+  let* () = positive "quantum" quantum in
+  let* () = divides "compute_nodes" compute_nodes io_nodes in
+  let* () = divides "io_nodes" io_nodes storage_nodes in
+  let topology =
+    Topology.make ~compute_nodes ~io_nodes ~storage_nodes ~block_elems ~io_cache_blocks
+      ~storage_cache_blocks ()
+  in
+  Ok { default with topology; blocks_per_thread; quantum }
+
 let spec_for t program =
   let topo = t.topology in
   let num_arrays = max 1 (List.length program.Program.arrays) in

@@ -32,3 +32,49 @@ val spec_for : t -> Program.t -> Internode.spec
     interleaves all threads. *)
 
 val threads : t -> int
+
+(** {1 Validation} — structured rejection of malformed configurations.
+
+    Records are concrete, so nothing stops code (or CLI flags) from
+    assembling a topology with a zero-block cache or a capacity ladder that
+    breaks the Step II divisibility law; these used to surface as
+    [Division_by_zero] or asserts deep in the simulator.  The validators
+    below turn them into a machine-readable {!invalid_config}; [flopt]
+    exits 2 with {!invalid_config_to_string} of the reason. *)
+
+type invalid_config =
+  | Non_positive of { field : string; value : int }
+  | Indivisible of { field : string; value : int; divisor : int }
+      (** node counts must nest evenly: [value mod divisor <> 0] *)
+  | Step2_indivisible of { layer : int; capacity : int; unit_ : int }
+      (** the Step II law: layer [i]'s capacity [S_i+1] is not a multiple
+          of its chunk unit [N_i+1 * S_i] *)
+
+val invalid_config_to_string : invalid_config -> string
+
+val validate : t -> (unit, invalid_config) result
+(** Check an assembled configuration: positive node counts, threads, cache
+    and block sizes, quantum and buffers; even node nesting. *)
+
+val validate_layers : Chunk_pattern.layer array -> (unit, invalid_config) result
+(** Strict Step II divisibility for a user-supplied capacity ladder:
+    [S_1 mod N_1 = 0] and [S_i+1 mod (N_i+1 * S_i) = 0] for every layer
+    (1-based in the paper; [layer] in the error is the 0-based array
+    index).  {!spec_for} does not need this — pattern construction
+    self-heals topology-derived capacities — but hand-built specs go
+    through here first. *)
+
+val build :
+  ?compute_nodes:int ->
+  ?io_nodes:int ->
+  ?storage_nodes:int ->
+  ?block_elems:int ->
+  ?io_cache_blocks:int ->
+  ?storage_cache_blocks:int ->
+  ?blocks_per_thread:int ->
+  ?quantum:int ->
+  unit ->
+  (t, invalid_config) result
+(** Validating constructor over the default configuration — the CLI's
+    front door: every error is a structured {!invalid_config}, never an
+    exception.  Defaults are {!default}'s values. *)

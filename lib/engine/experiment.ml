@@ -101,6 +101,37 @@ let random_mapping ~seed config =
 
 let map_apps ?jobs f apps = Parallel.map_list ?jobs f apps
 
+type chaos_point = {
+  scale : float;
+  plan : Flo_faults.Fault_plan.t;
+  default_r : Run.result;
+  inter_r : Run.result;
+  default_counts : Flo_faults.Injector.counts;
+  inter_counts : Flo_faults.Injector.counts;
+}
+
+(* One point per fault-rate scale, each simulated under both the default
+   (row-major) and the compiler-optimized layouts with its own freshly
+   compiled injector — injector state is per run, so points are independent
+   tasks and the sweep parallelizes over scales with identical results at
+   every jobs setting. *)
+let chaos ?(scales = [ 0.; 0.5; 1.; 2. ]) ?caching ?scope ?jobs ~plan config app =
+  let layouts_default = default_layouts app in
+  let layouts_inter = inter_layouts ?scope config app in
+  let storage_nodes = config.Config.topology.Topology.storage_nodes in
+  let point scale =
+    let p = Flo_faults.Fault_plan.scale plan scale in
+    let run_under layouts =
+      let inj = Flo_faults.Injector.create ~storage_nodes p in
+      let r = Run.run ?caching ~faults:inj ~config ~layouts app in
+      (r, Flo_faults.Injector.counts inj)
+    in
+    let default_r, default_counts = run_under layouts_default in
+    let inter_r, inter_counts = run_under layouts_inter in
+    { scale; plan = p; default_r; inter_r; default_counts; inter_counts }
+  in
+  Parallel.map_list ?jobs point scales
+
 (* The fidelity loop: run with a live analyzer attached, recompute the
    compiler-side predictions under the same parallelization parameters (or
    deliberately different ones via [predict_block_elems]), and join. *)

@@ -66,6 +66,32 @@ val map_apps : ?jobs:int -> (App.t -> 'a) -> App.t list -> 'a list
     on a domain pool, results return in app order.  Every driver above is
     safe as [f] — they share no mutable state across apps. *)
 
+type chaos_point = {
+  scale : float;  (** fault-intensity scale applied to the plan *)
+  plan : Flo_faults.Fault_plan.t;  (** the scaled plan actually injected *)
+  default_r : Run.result;
+  inter_r : Run.result;
+  default_counts : Flo_faults.Injector.counts;
+  inter_counts : Flo_faults.Injector.counts;
+}
+
+val chaos :
+  ?scales:float list ->
+  ?caching:Run.caching ->
+  ?scope:Internode.scope ->
+  ?jobs:int ->
+  plan:Flo_faults.Fault_plan.t ->
+  Config.t ->
+  App.t ->
+  chaos_point list
+(** The [flopt chaos] sweep: for each scale (default [0; 0.5; 1; 2]) run
+    the app under {!Flo_faults.Fault_plan.scale}[ plan scale] with both the
+    default and the compiler-optimized layouts.  Each run gets a fresh
+    injector compiled from the scaled plan, so points are independent and
+    results are identical at every [jobs] setting; scale 0 is the
+    fault-free reference (byte-identical to running without faults).
+    @raise Invalid_argument if the plan names a node outside the topology. *)
+
 val fidelity :
   ?tolerance:float ->
   ?mapping:int array ->

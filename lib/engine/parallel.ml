@@ -50,9 +50,19 @@ let map ?jobs f arr =
       in
       loop ()
     in
-    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    (* the calling domain is the jobs-th worker *)
-    Fun.protect ~finally:(fun () -> List.iter Domain.join helpers) worker;
+    (* spawn inside the protected region: if Domain.spawn itself raises
+       partway (resource exhaustion), the domains already started are still
+       joined — the pool can never leak a domain, even when every task (or
+       the spawn loop) throws *)
+    let helpers = ref [] in
+    Fun.protect
+      ~finally:(fun () -> List.iter Domain.join !helpers)
+      (fun () ->
+        for _ = 1 to jobs - 1 do
+          helpers := Domain.spawn worker :: !helpers
+        done;
+        (* the calling domain is the jobs-th worker *)
+        worker ());
     Array.map
       (function
         | Some (Ok v) -> v

@@ -128,17 +128,34 @@ let analysis_summary ?(max_matrix = 16) a =
   let caches = A.caches a in
   (* headline counters *)
   let lo, hi = A.time_span a in
+  (* fault-path rows appear only when the trace contains fault events, so
+     fault-free reports (and their golden files) are unchanged *)
+  let fault_rows =
+    List.filter_map
+      (fun (label, kind) ->
+        let n = A.kind_count a kind in
+        if n = 0 then None else Some [ label; string_of_int n ])
+      [
+        ("read faults", Flo_obs.Event.Fault);
+        ("retries", Flo_obs.Event.Retry);
+        ("timeouts", Flo_obs.Event.Timeout);
+        ("failover reads", Flo_obs.Event.Failover);
+      ]
+  in
   section "trace summary"
     (table ~header:[ "quantity"; "value" ]
-       [
-         [ "events"; string_of_int (A.event_count a) ];
-         [ "block requests"; string_of_int (A.kind_count a Flo_obs.Event.Access) ];
-         [ "disk reads"; string_of_int (A.kind_count a Flo_obs.Event.Disk_read) ];
-         [ "disk time (us)"; f1 (A.total_disk_us a) ];
-         [ "span (us, modeled)"; Printf.sprintf "%s .. %s" (f1 lo) (f1 hi) ];
-         [ "threads"; string_of_int (L.threads (A.locality a)) ];
-         [ "caches"; string_of_int (List.length caches) ];
-       ]);
+       ([
+          [ "events"; string_of_int (A.event_count a) ];
+          [ "block requests"; string_of_int (A.kind_count a Flo_obs.Event.Access) ];
+          [ "disk reads"; string_of_int (A.kind_count a Flo_obs.Event.Disk_read) ];
+        ]
+       @ fault_rows
+       @ [
+           [ "disk time (us)"; f1 (A.total_disk_us a) ];
+           [ "span (us, modeled)"; Printf.sprintf "%s .. %s" (f1 lo) (f1 hi) ];
+           [ "threads"; string_of_int (L.threads (A.locality a)) ];
+           [ "caches"; string_of_int (List.length caches) ];
+         ]));
   (* reuse distances *)
   let reuse_rows =
     List.filter_map
@@ -322,3 +339,85 @@ let fidelity_line (fd : Flo_fidelity.Fidelity.t) =
     (if F.ok fd then "OK" else "DRIFT")
 
 let print_fidelity fd = print_string (fidelity_summary fd)
+
+(* --- fault / chaos rendering ----------------------------------------- *)
+
+let degradation_summary (plan : Flo_core.Optimizer.plan) =
+  let module O = Flo_core.Optimizer in
+  let degraded = O.degraded plan in
+  if degraded = [] then
+    Printf.sprintf "layout pass: %d/%d arrays fully optimized, no degradations\n"
+      (O.optimized_count plan) (O.total_arrays plan)
+  else
+    table
+      ~header:[ "array"; "stage"; "reason" ]
+      (List.map
+         (fun (d : O.decision) ->
+           [ d.O.array_name; O.stage_to_string d.O.stage; O.reason_to_string d.O.reason ])
+         degraded)
+
+let chaos_point_counts (p : Experiment.chaos_point) =
+  let module I = Flo_faults.Injector in
+  let add (a : I.counts) (b : I.counts) =
+    ( a.I.faults + b.I.faults,
+      a.I.retries + b.I.retries,
+      a.I.timeouts + b.I.timeouts,
+      a.I.failovers + b.I.failovers )
+  in
+  add p.Experiment.default_counts p.Experiment.inter_counts
+
+let chaos_verdict points =
+  match points with
+  | [] | [ _ ] -> "need at least two fault scales for a verdict"
+  | first :: _ ->
+    let last = List.nth points (List.length points - 1) in
+    let adv (p : Experiment.chaos_point) =
+      100.
+      *. (Run.l2_miss_per_element p.Experiment.default_r
+         -. Run.l2_miss_per_element p.Experiment.inter_r)
+    in
+    let a0 = adv first and a1 = adv last in
+    Printf.sprintf
+      "L2 miss/elem advantage %.2fpp -> %.2fpp at scale x%g; optimized advantage %s \
+       under faults"
+      a0 a1 last.Experiment.scale
+      (if a1 > 0. then "persists" else "collapses")
+
+let chaos_summary ~app ~seed points =
+  let module I = Flo_faults.Injector in
+  let buf = Buffer.create 2048 in
+  let rows =
+    List.map
+      (fun (p : Experiment.chaos_point) ->
+        let faults, retries, timeouts, failovers = chaos_point_counts p in
+        let d = p.Experiment.default_r and o = p.Experiment.inter_r in
+        [
+          Printf.sprintf "x%g" p.Experiment.scale;
+          ms d.Run.elapsed_us;
+          ms o.Run.elapsed_us;
+          f3 (o.Run.elapsed_us /. d.Run.elapsed_us);
+          f2 (100. *. Run.l2_miss_per_element d);
+          f2 (100. *. Run.l2_miss_per_element o);
+          string_of_int faults;
+          string_of_int retries;
+          string_of_int timeouts;
+          string_of_int failovers;
+        ])
+      points
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "chaos sweep: %s (seed %d; default vs optimized layouts)\n" app seed);
+  Buffer.add_string buf
+    (table
+       ~header:
+         [
+           "scale"; "default ms"; "optimized ms"; "norm"; "L2 m/e def %"; "L2 m/e opt %";
+           "faults"; "retries"; "timeouts"; "failovers";
+         ]
+       rows);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "chaos %s seed=%d: %s\n" app seed (chaos_verdict points));
+  Buffer.contents buf
+
+let print_chaos ~app ~seed points = print_string (chaos_summary ~app ~seed points)

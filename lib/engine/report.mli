@@ -64,3 +64,27 @@ val fidelity_line : Flo_fidelity.Fidelity.t -> string
 (** One-line per-app summary (used by the suite-wide golden test). *)
 
 val print_fidelity : Flo_fidelity.Fidelity.t -> unit
+
+(** {1 Fault injection} — rendering for [Flo_faults] chaos sweeps. *)
+
+val degradation_summary : Flo_core.Optimizer.plan -> string
+(** The optimizer's degradation chain: one row per non-[Inter]/[Optimized]
+    decision with its stage and machine-readable reason, or a single line
+    when every array was fully optimized. *)
+
+val chaos_point_counts : Experiment.chaos_point -> int * int * int * int
+(** [(faults, retries, timeouts, failovers)] summed over the point's
+    default and optimized runs. *)
+
+val chaos_verdict : Experiment.chaos_point list -> string
+(** Deterministic one-line verdict comparing the optimized layout's L2
+    miss-per-element advantage (in percentage points) at the first and
+    last fault scales: the advantage either ["persists"] or ["collapses"]
+    under faults. *)
+
+val chaos_summary : app:string -> seed:int -> Experiment.chaos_point list -> string
+(** The full [flopt chaos] report: per-scale table (modeled times,
+    normalized ratio, L2 miss/elem for both layouts, fault counters) plus
+    the {!chaos_verdict} line prefixed ["chaos <app> seed=<n>: ..."]. *)
+
+val print_chaos : app:string -> seed:int -> Experiment.chaos_point list -> unit

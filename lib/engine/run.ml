@@ -71,7 +71,7 @@ let karma_hints_of_streams ~io_of_thread ~io_nodes weighted_streams =
   hints
 
 let run ?mapping ?(caching = Lru) ?assigns ?(sample = 1) ?(readahead = 0) ?sink ?metrics
-    ~config ~layouts app =
+    ?faults ~config ~layouts app =
   let topo = config.Config.topology in
   let threads = Topology.threads topo in
   let block_elems = topo.Topology.block_elems in
@@ -99,14 +99,14 @@ let run ?mapping ?(caching = Lru) ?assigns ?(sample = 1) ?(readahead = 0) ?sink 
   let hier =
     match caching with
     | Lru -> Hierarchy.create ?mapping ~costs:config.Config.costs
-               ~disk_params:config.Config.disk_params ~readahead ?sink ?metrics topo
+               ~disk_params:config.Config.disk_params ~readahead ?sink ?metrics ?faults topo
     | Demote ->
       Hierarchy.create ?mapping ~protocol:Hierarchy.Demote_exclusive
         ~costs:config.Config.costs ~disk_params:config.Config.disk_params ~readahead
-        ?sink ?metrics topo
+        ?sink ?metrics ?faults topo
     | Custom (f1, f2) ->
       Hierarchy.create ?mapping ~l1_factory:f1 ~l2_factory:f2 ~costs:config.Config.costs
-        ~disk_params:config.Config.disk_params ~readahead ?sink ?metrics topo
+        ~disk_params:config.Config.disk_params ~readahead ?sink ?metrics ?faults topo
     | Karma ->
       let io_of_thread t = Topology.io_of_compute topo (mapping_fn t) in
       let hints =
@@ -125,7 +125,7 @@ let run ?mapping ?(caching = Lru) ?assigns ?(sample = 1) ?(readahead = 0) ?sink 
             Karma.l2_cache plan ~storage_nodes:topo.Topology.storage_nodes)
       in
       Hierarchy.create ?mapping ~l1 ~l2 ~costs:config.Config.costs
-        ~disk_params:config.Config.disk_params ~readahead ?sink ?metrics topo
+        ~disk_params:config.Config.disk_params ~readahead ?sink ?metrics ?faults topo
   in
   let block_requests = ref 0 in
   let iterations = ref 0 in

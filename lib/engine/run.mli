@@ -42,6 +42,7 @@ val run :
   ?readahead:int ->
   ?sink:Flo_obs.Sink.t ->
   ?metrics:Flo_obs.Metrics.t ->
+  ?faults:Flo_faults.Injector.t ->
   config:Config.t ->
   layouts:(int -> File_layout.t) ->
   App.t ->
@@ -56,7 +57,13 @@ val run :
     observability layer: structured trace events, the
     ["request_latency_us"]/["disk_service_us"] histograms, and a
     ["span.tracegen"] phase timing (defaults: off; simulation results are
-    unaffected).  The sink is flushed before returning. *)
+    unaffected).  The sink is flushed before returning.
+
+    [faults] attaches a fault injector to the hierarchy (see
+    {!Flo_storage.Hierarchy.create} and [docs/ROBUSTNESS.md]); create one
+    injector per run — read its counters back afterwards with
+    {!Flo_faults.Injector.counts}.  Omitted (or compiled from an inert
+    plan), the run is byte-identical to the fault-free path. *)
 
 val karma_hints_of_streams :
   io_of_thread:(int -> int) -> io_nodes:int -> (int * Block.t array array) list ->

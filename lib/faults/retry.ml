@@ -1,0 +1,32 @@
+type policy = {
+  max_retries : int;
+  base_backoff_us : float;
+  multiplier : float;
+  jitter : float;
+  timeout_us : float;
+}
+
+let default =
+  {
+    max_retries = 3;
+    base_backoff_us = 500.;
+    multiplier = 2.;
+    jitter = 0.5;
+    timeout_us = 50_000.;
+  }
+
+let validate p =
+  if p.max_retries < 0 then Error "retry: max must be >= 0"
+  else if not (p.base_backoff_us >= 0.) then Error "retry: base must be >= 0"
+  else if not (p.multiplier >= 1.) then Error "retry: mult must be >= 1"
+  else if not (p.jitter >= 0. && p.jitter <= 1.) then Error "retry: jitter must be in [0, 1]"
+  else if not (p.timeout_us > 0.) then Error "retry: timeout must be > 0"
+  else Ok ()
+
+let backoff_us p ~attempt ~u =
+  let b = p.base_backoff_us *. (p.multiplier ** float_of_int attempt) in
+  b *. (1. -. p.jitter +. (p.jitter *. u))
+
+let to_string p =
+  Printf.sprintf "retry:max=%d,base=%.12g,mult=%.12g,jitter=%.12g,timeout=%.12g"
+    p.max_retries p.base_backoff_us p.multiplier p.jitter p.timeout_us

@@ -1,0 +1,32 @@
+(** Retry policy for transient disk read errors.
+
+    A failed read attempt costs its full (wasted) service time; before the
+    next attempt the requester waits an exponentially growing backoff with
+    deterministic jitter.  Retrying stops when either [max_retries] extra
+    attempts have failed or the time already spent on the request reaches
+    [timeout_us]; the request then takes the failover read path (a replica
+    on another storage node).  All waits are charged to the requesting
+    thread's modeled clock — nothing sleeps for real. *)
+
+type policy = {
+  max_retries : int;  (** extra attempts after the first (0 = fail fast) *)
+  base_backoff_us : float;  (** wait before the first retry *)
+  multiplier : float;  (** exponential growth factor, [>= 1] *)
+  jitter : float;
+      (** fraction of each backoff that is randomized, in [[0, 1]]: the wait
+          is uniform in [[b*(1-jitter), b]] for nominal backoff [b] *)
+  timeout_us : float;  (** per-request retry budget (modeled microseconds) *)
+}
+
+val default : policy
+(** 3 retries, 500 us base, x2 growth, 0.5 jitter, 50 ms timeout. *)
+
+val validate : policy -> (unit, string) result
+
+val backoff_us : policy -> attempt:int -> u:float -> float
+(** Backoff before retry number [attempt] (0-based), given a uniform jitter
+    draw [u] in [[0, 1)].  Pure: the injector supplies [u] from its own
+    deterministic stream. *)
+
+val to_string : policy -> string
+(** The canonical [retry:...] clause of the fault-plan grammar. *)

@@ -1,4 +1,15 @@
-type kind = Access | Hit | Miss | Evict | Demote | Prefetch | Disk_read
+type kind =
+  | Access
+  | Hit
+  | Miss
+  | Evict
+  | Demote
+  | Prefetch
+  | Disk_read
+  | Fault
+  | Retry
+  | Timeout
+  | Failover
 type layer = L1 | L2 | Disk
 
 type t = {
@@ -23,6 +34,10 @@ let kind_to_string = function
   | Demote -> "demote"
   | Prefetch -> "prefetch"
   | Disk_read -> "disk_read"
+  | Fault -> "fault"
+  | Retry -> "retry"
+  | Timeout -> "timeout"
+  | Failover -> "failover"
 
 let layer_to_string = function L1 -> "l1" | L2 -> "l2" | Disk -> "disk"
 
@@ -40,6 +55,10 @@ let kind_of_string = function
   | "demote" -> Some Demote
   | "prefetch" -> Some Prefetch
   | "disk_read" -> Some Disk_read
+  | "fault" -> Some Fault
+  | "retry" -> Some Retry
+  | "timeout" -> Some Timeout
+  | "failover" -> Some Failover
   | _ -> None
 
 let layer_of_string = function

@@ -14,6 +14,14 @@ type kind =
   | Demote  (** DEMOTE transfer of an L1 victim into a storage cache *)
   | Prefetch  (** sequential readahead pulled [block] into a storage cache *)
   | Disk_read  (** disk service; [latency_us] is the modeled service time *)
+  | Fault
+      (** an injected transient read failure; [latency_us] is the wasted
+          service time of the failed attempt *)
+  | Retry  (** a backoff wait before re-reading; [latency_us] is the wait *)
+  | Timeout  (** the request's retry budget ran out *)
+  | Failover
+      (** read served by the failover replica node; [latency_us] is that
+          read's service time ([node] is the replica) *)
 
 type layer = L1 | L2 | Disk
 

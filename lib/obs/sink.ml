@@ -46,17 +46,27 @@ let jsonl oc =
   }
 
 let with_jsonl path f =
-  let oc = open_out path in
-  let closed = ref false in
-  Fun.protect
-    ~finally:(fun () ->
-      if not !closed then begin
-        closed := true;
-        (* close_out flushes; fall back to close_noerr so a full disk or a
-           vanished file descriptor never masks the exception in flight *)
-        try close_out oc with Sys_error _ -> close_out_noerr oc
-      end)
-    (fun () -> f (jsonl oc))
+  (* write to a side file and publish by rename: a process that dies
+     mid-trace never leaves a truncated file at [path] — either the old
+     contents survive or the finalized trace appears whole *)
+  let tmp = path ^ ".part" in
+  let oc = open_out tmp in
+  (* close_out flushes; fall back to close_noerr so a full disk or a
+     vanished file descriptor never masks the exception in flight *)
+  let close () = try close_out oc with Sys_error _ -> close_out_noerr oc in
+  match f (jsonl oc) with
+  | v ->
+    close ();
+    Sys.rename tmp path;
+    v
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    close ();
+    (* [f] raised after emitting whole lines: still publish the prefix so a
+       crashed run leaves a parseable trace at [path]; swallow rename
+       failures here — the exception in flight is the real error *)
+    (try Sys.rename tmp path with Sys_error _ -> ());
+    Printexc.raise_with_backtrace e bt
 
 let callback f = { emit = f; flush = (fun () -> ()) }
 

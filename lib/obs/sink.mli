@@ -42,10 +42,12 @@ val jsonl : out_channel -> t
     caller owns (and closes) the channel. *)
 
 val with_jsonl : string -> (t -> 'a) -> 'a
-(** [with_jsonl path f] opens [path], passes a {!jsonl} sink to [f], and
-    flushes and closes the channel via [Fun.protect] — including when [f]
-    raises, so a crashed run still leaves a complete, parseable JSONL prefix
-    (every emitted event is a whole line) rather than a truncated file. *)
+(** [with_jsonl path f] writes the trace to [path ^ ".part"], passes a
+    {!jsonl} sink to [f], then closes and atomically renames the side file
+    onto [path].  The rename also runs when [f] raises — every emitted
+    event is a whole line, so a crashed run still publishes a complete,
+    parseable JSONL prefix at [path].  A process killed mid-write leaves
+    only the [.part] file behind: [path] is never truncated. *)
 
 val callback : (Event.t -> unit) -> t
 

@@ -24,11 +24,14 @@ type t = {
   (* resolved once at creation so the hot path never consults the registry *)
   request_hist : Flo_obs.Histogram.t option;
   disk_hists : Flo_obs.Histogram.t option array;
+  (* None guards the exact fault-free code path: with no injector every
+     fault branch below is the unmodified original arithmetic *)
+  faults : Flo_faults.Injector.t option;
 }
 
 let create ?(protocol = Inclusive) ?mapping ?l1 ?l2 ?l1_factory ?l2_factory
     ?(costs = default_costs) ?disk_params ?(file_stride = Striping.default_file_stride)
-    ?(readahead = 0) ?(sink = Flo_obs.Sink.null) ?metrics topo =
+    ?(readahead = 0) ?(sink = Flo_obs.Sink.null) ?metrics ?faults topo =
   if readahead < 0 then invalid_arg "Hierarchy.create: negative readahead";
   let threads = Topology.threads topo in
   let mapping =
@@ -92,6 +95,7 @@ let create ?(protocol = Inclusive) ?mapping ?l1 ?l2 ?l1_factory ?l2_factory
                 ~labels:[ ("node", string_of_int i) ]
                 "disk_service_us")
             metrics);
+    faults;
   }
 
 let topology t = t.topo
@@ -129,14 +133,82 @@ let install_l1 t ~time_us ~io ~thread b =
     match t.protocol with
     | Inclusive -> ()
     | Demote_exclusive ->
-      let sn = Striping.storage_node_of ~storage_nodes:t.topo.Topology.storage_nodes victim in
-      Stats.record_demotion t.l2_stats.(sn);
-      emit t ~time_us ~kind:Flo_obs.Event.Demote ~layer:Flo_obs.Event.L2 ~node:sn ~thread
-        victim;
-      t.clocks.(thread) <- t.clocks.(thread) +. t.costs.demote_us;
-      (match t.l2.(sn).Policy.insert victim with
-      | Some v -> record_l2_eviction t ~time_us ~thread ~sn v
-      | None -> ()))
+      let sn0 = Striping.storage_node_of ~storage_nodes:t.topo.Topology.storage_nodes victim in
+      let sn, online =
+        match t.faults with
+        | None -> (sn0, true)
+        | Some inj ->
+          let sn = Flo_faults.Injector.route inj sn0 in
+          (sn, Flo_faults.Injector.cache_online inj ~node:sn)
+      in
+      (* a demotion to an offline storage cache is a no-op: the client
+         simply drops the block *)
+      if online then begin
+        Stats.record_demotion t.l2_stats.(sn);
+        emit t ~time_us ~kind:Flo_obs.Event.Demote ~layer:Flo_obs.Event.L2 ~node:sn ~thread
+          victim;
+        t.clocks.(thread) <- t.clocks.(thread) +. t.costs.demote_us;
+        match t.l2.(sn).Policy.insert victim with
+        | Some v -> record_l2_eviction t ~time_us ~thread ~sn v
+        | None -> ()
+      end)
+
+(* The retry-engine read path, used only when an injector is attached.  A
+   failed attempt costs its full (wasted) service time; backoffs and the
+   eventual failover read are also charged to the requesting thread's
+   modeled clock.  With a zero-rate plan no draw ever fails and the returned
+   cost is [0. +. (raw *. 1.0)] — IEEE-identical to the fault-free path. *)
+let faulty_disk_read t inj ~time_us ~thread ~sn ~lba b =
+  let policy = Flo_faults.Injector.retry_policy inj in
+  let read node =
+    let raw = Disk.service t.disks.(node) ~lba in
+    let svc = raw *. Flo_faults.Injector.service_multiplier inj ~node in
+    (match t.disk_hists.(node) with
+    | Some h -> Flo_obs.Histogram.add h svc
+    | None -> ());
+    svc
+  in
+  let failover ~extra =
+    (* retries exhausted or budget spent: read the replica on the next node
+       (forced success — replicas don't share the transient failure) *)
+    let node = Flo_faults.Injector.failover_node inj ~node:sn in
+    Flo_faults.Injector.record_failover inj;
+    let svc = read node in
+    emit t ~time_us ~kind:Flo_obs.Event.Failover ~layer:Flo_obs.Event.Disk ~node ~thread
+      ~latency_us:svc b;
+    Flo_faults.Injector.observe_retry_latency inj extra;
+    extra +. svc
+  in
+  let rec attempt k ~extra =
+    let svc = read sn in
+    if not (Flo_faults.Injector.draw_read_error inj ~node:sn) then begin
+      emit t ~time_us ~kind:Flo_obs.Event.Disk_read ~layer:Flo_obs.Event.Disk ~node:sn
+        ~thread ~latency_us:svc b;
+      if extra > 0. then Flo_faults.Injector.observe_retry_latency inj extra;
+      extra +. svc
+    end
+    else begin
+      Flo_faults.Injector.record_fault inj;
+      emit t ~time_us ~kind:Flo_obs.Event.Fault ~layer:Flo_obs.Event.Disk ~node:sn ~thread
+        ~latency_us:svc b;
+      let extra = extra +. svc in
+      if k >= policy.Flo_faults.Retry.max_retries then failover ~extra
+      else if extra >= policy.Flo_faults.Retry.timeout_us then begin
+        Flo_faults.Injector.record_timeout inj;
+        emit t ~time_us ~kind:Flo_obs.Event.Timeout ~layer:Flo_obs.Event.Disk ~node:sn
+          ~thread b;
+        failover ~extra
+      end
+      else begin
+        let backoff = Flo_faults.Injector.backoff_us inj ~node:sn ~attempt:k in
+        Flo_faults.Injector.record_retry inj;
+        emit t ~time_us ~kind:Flo_obs.Event.Retry ~layer:Flo_obs.Event.Disk ~node:sn
+          ~thread ~latency_us:backoff b;
+        attempt (k + 1) ~extra:(extra +. backoff)
+      end
+    end
+  in
+  attempt 0 ~extra:0.
 
 let access t ~thread b =
   let io = io_node_of_thread t thread in
@@ -150,9 +222,16 @@ let access t ~thread b =
   else begin
     Stats.record_miss t.l1_stats.(io);
     emit t ~time_us ~kind:Flo_obs.Event.Miss ~layer:Flo_obs.Event.L1 ~node:io ~thread b;
-    let sn = Striping.storage_node_of ~storage_nodes:t.topo.Topology.storage_nodes b in
+    let sn0 = Striping.storage_node_of ~storage_nodes:t.topo.Topology.storage_nodes b in
+    let sn, l2_online =
+      match t.faults with
+      | None -> (sn0, true)
+      | Some inj ->
+        let sn = Flo_faults.Injector.route inj sn0 in
+        (sn, Flo_faults.Injector.cache_online inj ~node:sn)
+    in
     cost := !cost +. t.costs.l2_hit_us;
-    if t.l2.(sn).Policy.touch b then begin
+    if l2_online && t.l2.(sn).Policy.touch b then begin
       Stats.record_hit t.l2_stats.(sn);
       emit t ~time_us ~kind:Flo_obs.Event.Hit ~layer:Flo_obs.Event.L2 ~node:sn ~thread b;
       if Hashtbl.mem t.speculative.(sn) b then begin
@@ -172,22 +251,31 @@ let access t ~thread b =
       emit t ~time_us ~kind:Flo_obs.Event.Miss ~layer:Flo_obs.Event.L2 ~node:sn ~thread b;
       (* a speculative entry for a block the cache no longer holds is stale *)
       Hashtbl.remove t.speculative.(sn) b;
+      (match t.faults with
+      | Some inj when not l2_online -> Flo_faults.Injector.record_offline_miss inj
+      | _ -> ());
       let lba =
         Striping.lba_of ~storage_nodes:t.topo.Topology.storage_nodes
           ~file_stride:t.file_stride b
       in
-      let service = Disk.service t.disks.(sn) ~lba in
+      let service =
+        match t.faults with
+        | None ->
+          let service = Disk.service t.disks.(sn) ~lba in
+          (match t.disk_hists.(sn) with
+          | Some h -> Flo_obs.Histogram.add h service
+          | None -> ());
+          emit t ~time_us ~kind:Flo_obs.Event.Disk_read ~layer:Flo_obs.Event.Disk ~node:sn
+            ~thread ~latency_us:service b;
+          service
+        | Some inj -> faulty_disk_read t inj ~time_us ~thread ~sn ~lba b
+      in
       cost := !cost +. service;
-      (match t.disk_hists.(sn) with
-      | Some h -> Flo_obs.Histogram.add h service
-      | None -> ());
-      emit t ~time_us ~kind:Flo_obs.Event.Disk_read ~layer:Flo_obs.Event.Disk ~node:sn
-        ~thread ~latency_us:service b;
       (* sequential readahead: the storage node speculatively pulls the next
          blocks of the same file into its cache.  The disk transfer overlaps
          with the demand read, so only a fraction of the transfer is charged
          to the requesting thread. *)
-      if t.readahead > 0 then begin
+      if t.readahead > 0 && l2_online then begin
         let params = Disk.params t.disks.(sn) in
         for k = 1 to t.readahead do
           (* next stripe unit on this storage node *)
@@ -209,17 +297,18 @@ let access t ~thread b =
           end
         done
       end;
-      match t.protocol with
-      | Inclusive ->
-        (match t.l2.(sn).Policy.insert b with
-        | Some v -> record_l2_eviction t ~time_us ~thread ~sn v
-        | None -> ())
-      | Demote_exclusive ->
-        (* DEMOTE-LRU keeps plain LRU for read blocks too, but a block the
-           client is about to cache enters at the cold end *)
-        (match t.l2.(sn).Policy.insert_cold b with
-        | Some v -> record_l2_eviction t ~time_us ~thread ~sn v
-        | None -> ())
+      if l2_online then
+        match t.protocol with
+        | Inclusive ->
+          (match t.l2.(sn).Policy.insert b with
+          | Some v -> record_l2_eviction t ~time_us ~thread ~sn v
+          | None -> ())
+        | Demote_exclusive ->
+          (* DEMOTE-LRU keeps plain LRU for read blocks too, but a block the
+             client is about to cache enters at the cold end *)
+          (match t.l2.(sn).Policy.insert_cold b with
+          | Some v -> record_l2_eviction t ~time_us ~thread ~sn v
+          | None -> ())
     end;
     install_l1 t ~time_us ~io ~thread b
   end;

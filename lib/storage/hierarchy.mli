@@ -53,6 +53,7 @@ val create :
   ?readahead:int ->
   ?sink:Flo_obs.Sink.t ->
   ?metrics:Flo_obs.Metrics.t ->
+  ?faults:Flo_faults.Injector.t ->
   Topology.t ->
   t
 (** [mapping] permutes threads onto compute nodes (Fig. 7(b)); default is
@@ -63,6 +64,16 @@ val create :
     a small overlapped transfer charge — the mechanism behind the paper's
     remark that linear layouts improve hardware I/O prefetching.
     [sink]/[metrics] attach tracing and latency profiling (see above).
+
+    [faults] attaches a fault injector (see [docs/ROBUSTNESS.md]): requests
+    are routed through its stripe-failover remap, offline storage caches
+    become all-miss passthroughs (no lookups, inserts, readahead or
+    demotions), and disk reads go through the retry/backoff/timeout/failover
+    engine, whose wasted service time, backoffs and failover reads are all
+    charged to the requesting thread's modeled clock.  The injector belongs
+    to one run: {!reset} does not reset it.  Without [faults] — or with an
+    injector compiled from an inert plan — results are byte-identical to
+    the fault-free path.
     @raise Invalid_argument if array lengths or the mapping mismatch the
     topology. *)
 

@@ -9,6 +9,7 @@ let () =
       ("core", Test_core.suite);
       ("workloads", Test_workloads.suite);
       ("engine", Test_engine.suite);
+      ("faults", Test_faults.suite);
       ("parallel", Test_parallel.suite);
       ("fidelity", Test_fidelity.suite);
       ("bench", Test_bench.suite);

@@ -103,6 +103,35 @@ let test_validate_rejects () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "NaN accepted")
 
+let test_save_is_atomic () =
+  (* a crash between open and rename must never corrupt an existing
+     manifest: the data goes to path.tmp first *)
+  let path = Filename.temp_file "flopt_bench" ".json" in
+  let good = manifest [ metric "a" "x" 1. ] in
+  B.save path good;
+  (* stale garbage from a previous crashed writer is simply overwritten *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc "{ truncated garb";
+  close_out oc;
+  let better = manifest [ metric "a" "x" 2. ] in
+  B.save path better;
+  (match B.load path with
+  | Ok m -> checkb "new manifest replaces old" true (m = better)
+  | Error e -> Alcotest.failf "load after save: %s" e);
+  checkb "tmp file consumed by rename" false (Sys.file_exists tmp);
+  (* a save that cannot even create its temp file raises and leaves the
+     published manifest untouched *)
+  Unix.mkdir tmp 0o755;
+  (match B.save path good with
+  | () -> Alcotest.fail "save into blocked tmp path succeeded"
+  | exception Sys_error _ -> ());
+  (match B.load path with
+  | Ok m -> checkb "failed save left manifest intact" true (m = better)
+  | Error e -> Alcotest.failf "manifest corrupted by failed save: %s" e);
+  Unix.rmdir tmp;
+  Sys.remove path
+
 let test_load_reports_errors () =
   (match B.load "/nonexistent/bench.json" with
   | Error _ -> ()
@@ -192,6 +221,7 @@ let suite =
     ("json rejects garbage", `Quick, test_json_parse_rejects_garbage);
     ("manifest roundtrip", `Quick, test_manifest_roundtrip);
     ("validate rejects bad manifests", `Quick, test_validate_rejects);
+    ("save is atomic", `Quick, test_save_is_atomic);
     ("load reports errors", `Quick, test_load_reports_errors);
     ("self-diff is clean", `Quick, test_self_diff_clean);
     ("injected 2x slowdown regresses", `Quick, test_injected_slowdown_regresses);

@@ -34,6 +34,44 @@ let test_spec_for () =
   check "S1 share" (32 * 16 / 2) spec.Internode.layers.(0).Chunk_pattern.capacity;
   check "fanout l" 2 spec.Internode.layers.(0).Chunk_pattern.fanout
 
+let test_config_validate () =
+  checkb "default validates" true (Config.validate Config.default = Ok ());
+  checkb "small validates" true (Config.validate small_config = Ok ());
+  (* every bad field comes back as a structured reason, never an exception *)
+  let expect_error label build =
+    match build () with
+    | Error e ->
+      checkb (label ^ " has a message") true
+        (String.length (Config.invalid_config_to_string e) > 0)
+    | Ok _ -> Alcotest.failf "%s accepted" label
+  in
+  expect_error "zero storage nodes" (fun () -> Config.build ~storage_nodes:0 ());
+  expect_error "negative io nodes" (fun () -> Config.build ~io_nodes:(-4) ());
+  expect_error "zero block" (fun () -> Config.build ~block_elems:0 ());
+  expect_error "zero quantum" (fun () -> Config.build ~quantum:0 ());
+  expect_error "zero blocks per thread" (fun () -> Config.build ~blocks_per_thread:0 ());
+  expect_error "uneven nesting" (fun () -> Config.build ~compute_nodes:7 ~io_nodes:3 ());
+  (match Config.build ~storage_nodes:2 ~io_nodes:4 () with
+  | Ok c -> check "build applies overrides" 2 c.Config.topology.Topology.storage_nodes
+  | Error e -> Alcotest.failf "valid build rejected: %s" (Config.invalid_config_to_string e))
+
+let test_config_validate_layers () =
+  let layer fanout capacity = { Chunk_pattern.fanout; capacity } in
+  checkb "good ladder" true
+    (Config.validate_layers [| layer 2 8; layer 2 32 |] = Ok ());
+  (* S_{i+1} must be a multiple of N_{i+1} * S_i (the Step II law) *)
+  (match Config.validate_layers [| layer 2 8; layer 2 20 |] with
+  | Error (Config.Step2_indivisible { layer = l; capacity; unit_ }) ->
+    check "failing layer" 1 l;
+    check "capacity" 20 capacity;
+    check "unit" 16 unit_
+  | Error e ->
+    Alcotest.failf "wrong reason: %s" (Config.invalid_config_to_string e)
+  | Ok () -> Alcotest.fail "indivisible ladder accepted");
+  (match Config.validate_layers [| layer 3 8 |] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "S1 not multiple of N1 accepted")
+
 (* ---- Tracegen ---------------------------------------------------------- *)
 
 let test_streams_collapse () =
@@ -196,6 +234,8 @@ let test_shape_optimized_fraction () =
 let suite =
   [
     ("config spec_for", `Quick, test_spec_for);
+    ("config validate", `Quick, test_config_validate);
+    ("config validate_layers", `Quick, test_config_validate_layers);
     ("tracegen collapse", `Quick, test_streams_collapse);
     ("tracegen prefix sampling", `Quick, test_streams_sample_prefix);
     ("run basic invariants", `Quick, test_run_basic);

@@ -273,7 +273,8 @@ let event_arb =
   let gen =
     Gen.(
       oneofl [ Event.Access; Event.Hit; Event.Miss; Event.Evict; Event.Demote;
-               Event.Prefetch; Event.Disk_read ]
+               Event.Prefetch; Event.Disk_read; Event.Fault; Event.Retry;
+               Event.Timeout; Event.Failover ]
       >>= fun kind ->
       oneofl [ Event.L1; Event.L2; Event.Disk ] >>= fun layer ->
       int_range 0 7 >>= fun node ->
@@ -371,6 +372,7 @@ let test_with_jsonl_crash_safe () =
    with Simulated_crash -> ());
   let lines = read_lines path in
   check "every emitted event on disk" 7 (List.length lines);
+  checkb "no temp file left behind" false (Sys.file_exists (path ^ ".part"));
   List.iteri
     (fun i line ->
       match Event.of_json line with

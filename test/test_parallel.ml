@@ -54,6 +54,23 @@ let test_exception_lowest_index () =
       | exception Boom i -> check_int (Printf.sprintf "jobs=%d" jobs) 7 i)
     [ 1; 2; test_jobs ]
 
+let test_all_tasks_throw () =
+  (* the pathological case: every task raises.  The pool must still join all
+     helper domains (no leak), re-raise the lowest-index exception, and leave
+     the pool usable for the next map *)
+  let input = Array.init 16 (fun i -> i) in
+  List.iter
+    (fun jobs ->
+      (match Parallel.map ~jobs (fun x -> raise (Boom x)) input with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i -> check_int (Printf.sprintf "all-throw jobs=%d" jobs) 0 i);
+      (* a clean follow-up map proves no domain is stuck holding the queue *)
+      checkb
+        (Printf.sprintf "pool recovers after all-throw (jobs=%d)" jobs)
+        true
+        (Parallel.map ~jobs succ input = Array.map succ input))
+    [ 1; 2; test_jobs ]
+
 let test_jobs_validation () =
   checkb "jobs=0 rejected" true
     (match Parallel.map ~jobs:0 Fun.id [| 1 |] with
@@ -188,6 +205,7 @@ let suite =
     ("parallel map preserves order", `Quick, test_map_preserves_order);
     ("parallel map_list", `Quick, test_map_list);
     ("parallel exception determinism", `Quick, test_exception_lowest_index);
+    ("parallel all tasks throw", `Quick, test_all_tasks_throw);
     ("jobs validation and FLOPT_JOBS", `Quick, test_jobs_validation);
     ("bench manifest jobs-equivalence", `Quick, test_manifest_jobs_equivalence);
     ("golden tracegen equality (toy)", `Quick, test_golden_tracegen_toy);
