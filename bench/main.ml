@@ -674,8 +674,47 @@ let json_mode args =
       ]
     end
   in
+  let traffic_metrics =
+    (* ungated traffic-engine numbers: the batched multi-tenant replay
+       (Flo_traffic) against the per-element simulate loop it replaces.
+       All wall-clock, so never gated; the modeled request count rides
+       along for scale context. *)
+    Printf.eprintf "bench json: traffic engine...\n%!";
+    let params =
+      { (Flo_traffic.Engine.default_params ~mix:selected) with
+        Flo_traffic.Engine.sample }
+    in
+    let t0 = Unix.gettimeofday () in
+    let result = Flo_traffic.Engine.simulate ~jobs ~config params in
+    let tenant_wall = Unix.gettimeofday () -. t0 in
+    (* loop baseline: modeled requests per wall second of one closed-loop
+       per-element run of the head app (what a tenant job costs without
+       kernel batching) *)
+    let head = List.hd selected in
+    let layouts = Experiment.inter_layouts config head in
+    let l0 = Unix.gettimeofday () in
+    let r = Run.run ~sample ~config ~layouts head in
+    let loop_wall = Unix.gettimeofday () -. l0 in
+    let loop_rps = float_of_int r.Run.block_requests /. Float.max 1e-9 loop_wall in
+    let modeled_rps = result.Flo_traffic.Engine.modeled_rps in
+    let m ~name ~value ~unit_ =
+      { Bench_schema.app = "_traffic"; name; value; unit_; gated = false }
+    in
+    [
+      m ~name:"modeled_requests"
+        ~value:(float_of_int result.Flo_traffic.Engine.total_requests)
+        ~unit_:"req";
+      m ~name:"modeled_rps" ~value:modeled_rps ~unit_:"req/s";
+      m ~name:"tenant_wall_s" ~value:tenant_wall ~unit_:"s";
+      m ~name:"loop_rps" ~value:loop_rps ~unit_:"req/s";
+      m ~name:"speedup_vs_loop" ~value:(modeled_rps /. Float.max 1e-9 loop_rps)
+        ~unit_:"x";
+    ]
+  in
   let manifest =
-    { manifest with Bench_schema.metrics = manifest.Bench_schema.metrics @ suite_metrics }
+    { manifest with
+      Bench_schema.metrics =
+        manifest.Bench_schema.metrics @ suite_metrics @ traffic_metrics }
   in
   (match Bench_schema.validate manifest with
   | Ok () -> ()

@@ -14,6 +14,10 @@
                                (--perfetto OUT.json exports a Chrome
                                 trace-event file for ui.perfetto.dev)
      layout APP ARRAY_ID       dump a sample of the element->offset mapping
+     traffic APP-MIX [options] open-loop multi-tenant traffic over a Zipfian
+                               app mix, sharded across storage-node worker
+                               domains; per-tenant latency percentiles,
+                               fairness and noisy-neighbor deltas
      topology                  print the default scaled Table 1 system *)
 
 open Cmdliner
@@ -634,6 +638,125 @@ let chaos_cmd =
           $ scope_arg $ jobs_arg $ compute_nodes_arg $ io_nodes_arg
           $ storage_nodes_arg $ block_elems_arg)
 
+let traffic_cmd =
+  let doc =
+    "Drive an open-loop multi-tenant workload: tenants pick applications \
+     Zipfian-by-rank from $(i,APP-MIX), jobs arrive as seeded Poisson (or \
+     on/off bursty) processes, and each tenant runs the default or the \
+     compiler-optimized layouts.  The hierarchy is sharded by storage node \
+     and simulated on the worker-domain pool with batched service kernels, \
+     so hundreds of millions of modeled requests replay in seconds.  \
+     Everything except the $(b,[wall]) line is byte-identical for a given \
+     seed at every $(b,--jobs) value."
+  in
+  (* APP-MIX is parsed by hand (not Arg.conv) so an unknown app or malformed
+     spec exits 2 like every other flopt usage error, not cmdliner's 124 *)
+  let mix_pos =
+    Arg.(value & pos 0 string "suite"
+         & info [] ~docv:"APP-MIX"
+             ~doc:"Comma-separated application names in popularity order \
+                   (head = most popular), or $(b,suite) for the whole \
+                   16-application suite.")
+  in
+  let tenants_arg =
+    Arg.(value & opt int 64 & info [ "tenants" ] ~docv:"N" ~doc:"Number of tenants.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Master seed; every tenant draws from its own splitmix64 \
+                   substream derived from it (replay-exact).")
+  in
+  let duration_arg =
+    Arg.(value & opt float 10.
+         & info [ "duration" ] ~docv:"SECONDS" ~doc:"Modeled window per tenant.")
+  in
+  let rate_arg =
+    Arg.(value & opt float 2.
+         & info [ "rate" ] ~docv:"JOBS/S" ~doc:"Mean job arrival rate per tenant.")
+  in
+  let zipf_arg =
+    Arg.(value & opt float 1.1
+         & info [ "zipf-s" ] ~docv:"S"
+             ~doc:"Zipf exponent of app popularity over the mix (higher = \
+                   more skew towards the head app).")
+  in
+  let opt_share_arg =
+    Arg.(value & opt float 0.5
+         & info [ "opt-share" ] ~docv:"FRAC"
+             ~doc:"Fraction of tenants given the compiler-optimized layouts.")
+  in
+  let noisy_arg =
+    Arg.(value & opt float 1.
+         & info [ "noisy" ] ~docv:"MULT"
+             ~doc:"Arrival-rate multiplier for tenant 0 (the noisy neighbor); \
+                   1 disables it.")
+  in
+  let burst_arg =
+    Arg.(value & opt (some (pair float float)) None
+         & info [ "burst" ] ~docv:"ON,OFF"
+             ~doc:"Use an on/off bursty arrival process with mean on/off \
+                   sojourns of $(docv) modeled seconds (mean rate is \
+                   preserved).  Default: plain Poisson.")
+  in
+  let sample_arg =
+    Arg.(value & opt int 8
+         & info [ "sample" ] ~docv:"N"
+             ~doc:"Profile-mode sampling factor for service-kernel compilation.")
+  in
+  let max_rows_arg =
+    Arg.(value & opt int 8
+         & info [ "max-rows" ] ~docv:"N"
+             ~doc:"Per-tenant table rows to print (top $(docv) by requests).")
+  in
+  let run mix_spec tenants seed duration rate zipf_s opt_share noisy burst sample
+      max_rows jobs =
+    let mix =
+      if mix_spec = "suite" then Suite.all
+      else
+        List.map
+          (fun name ->
+            match Suite.find (String.trim name) with
+            | app -> app
+            | exception Not_found ->
+              Printf.eprintf "flopt: traffic: unknown application %S (try `flopt apps')\n"
+                name;
+              exit 2)
+          (String.split_on_char ',' mix_spec)
+    in
+    let process =
+      match burst with
+      | None -> Flo_traffic.Arrivals.Poisson
+      | Some (on_s, off_s) -> Flo_traffic.Arrivals.Bursty { on_s; off_s }
+    in
+    let params =
+      {
+        (Flo_traffic.Engine.default_params ~mix) with
+        Flo_traffic.Engine.tenants;
+        seed;
+        duration_s = duration;
+        rate;
+        zipf_s;
+        opt_share;
+        noisy_boost = noisy;
+        process;
+        sample;
+      }
+    in
+    (match Flo_traffic.Engine.validate params with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "flopt: traffic: %s\n" msg;
+      exit 2);
+    let jobs = resolve_jobs jobs in
+    let result = Flo_traffic.Engine.simulate ~jobs ~config params in
+    Flo_traffic.Traffic_report.print ~max_rows result
+  in
+  Cmd.v (Cmd.info "traffic" ~doc)
+    Term.(const run $ mix_pos $ tenants_arg $ seed_arg $ duration_arg $ rate_arg
+          $ zipf_arg $ opt_share_arg $ noisy_arg $ burst_arg $ sample_arg
+          $ max_rows_arg $ jobs_arg)
+
 let topology_cmd =
   let doc = "Print the default (scaled Table 1) system configuration." in
   let run () =
@@ -650,4 +773,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ apps_cmd; plan_cmd; run_cmd; bench_cmd; analyze_cmd; bench_diff_cmd;
-            chaos_cmd; fidelity_cmd; layout_cmd; trace_cmd; topology_cmd ]))
+            chaos_cmd; fidelity_cmd; layout_cmd; trace_cmd; traffic_cmd;
+            topology_cmd ]))

@@ -13,6 +13,11 @@ module Json = struct
 
   exception Parse of string
 
+  (* Deepest container nesting the parser accepts.  Real manifests nest 3
+     levels; the cap turns a hostile "[[[[..." input into a Parse error
+     instead of a stack overflow, which keeps the parser total. *)
+  let max_depth = 256
+
   (* Recursive-descent parser over the whole (possibly multi-line) input —
      the trace-event parser in Flo_obs.Event is single-line and flat, this
      one handles the nested manifest. *)
@@ -81,7 +86,8 @@ module Json = struct
       | Some f -> f
       | None -> fail "malformed number at offset %d" start
     in
-    let rec value () =
+    let rec value depth =
+      if depth > max_depth then fail "nesting deeper than %d at offset %d" max_depth !pos;
       skip_ws ();
       match peek () with
       | None -> fail "unexpected end of input"
@@ -99,7 +105,7 @@ module Json = struct
             skip_ws ();
             let k = string_lit () in
             expect ':';
-            let v = value () in
+            let v = value (depth + 1) in
             fields := (k, v) :: !fields;
             skip_ws ();
             match peek () with
@@ -122,7 +128,7 @@ module Json = struct
         else begin
           let items = ref [] in
           let rec elements () =
-            let v = value () in
+            let v = value (depth + 1) in
             items := v :: !items;
             skip_ws ();
             match peek () with
@@ -140,7 +146,7 @@ module Json = struct
       | Some 'n' -> literal "null" Null
       | Some _ -> Num (number_lit ())
     in
-    let v = value () in
+    let v = value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing garbage at offset %d" !pos;
     v
@@ -355,6 +361,13 @@ let save path t =
     raise e);
   Sys.rename tmp path
 
+(* Total: the parser's depth cap plus [of_json]'s field checks mean any
+   byte string — truncated, binary, deeply nested — lands in [Error]. *)
+let parse_string contents =
+  match Json.parse contents with
+  | exception Json.Parse msg -> Error msg
+  | j -> of_json j
+
 let load path =
   match
     let ic = open_in path in
@@ -364,12 +377,9 @@ let load path =
   with
   | exception Sys_error msg -> Error msg
   | contents -> (
-    match Json.parse contents with
-    | exception Json.Parse msg -> Error (Printf.sprintf "%s: %s" path msg)
-    | j -> (
-      match of_json j with
-      | Ok t -> Ok t
-      | Error msg -> Error (Printf.sprintf "%s: %s" path msg)))
+    match parse_string contents with
+    | Ok t -> Ok t
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
 
 (* -- trajectory diffing -------------------------------------------------- *)
 

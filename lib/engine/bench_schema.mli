@@ -28,7 +28,12 @@ module Json : sig
 
   val parse : string -> t
   (** Whole-input parse (nested values, multi-line).  @raise Parse on
-      malformed input or trailing garbage. *)
+      malformed input, trailing garbage, or container nesting deeper than
+      {!max_depth} — the cap makes the parser total on hostile input
+      (no stack overflow on ["[[[[..."]). *)
+
+  val max_depth : int
+  (** Deepest container nesting {!parse} accepts (256). *)
 
   val to_string : t -> string
   (** Compact single-line rendering; integers print without a decimal
@@ -79,6 +84,11 @@ val save : string -> t -> unit
 (** Atomic: writes [path ^ ".tmp"] and renames it onto [path] only after a
     successful close, so an interrupted save never leaves a truncated
     manifest — the previous contents of [path] survive instead. *)
+
+val parse_string : string -> (t, string) result
+(** Parse and {!validate} a manifest from a string.  Total: any byte
+    string — truncated, binary, deeply nested — returns [Error], never
+    raises. *)
 
 val load : string -> (t, string) result
 (** I/O, parse, and {!validate} errors all surface as [Error]. *)

@@ -43,6 +43,18 @@ let add t v =
   if v < t.min_v then t.min_v <- v;
   if v > t.max_v then t.max_v <- v
 
+let add_many t v n =
+  if Float.is_nan v then invalid_arg "Histogram.add_many: NaN";
+  if n < 0 then invalid_arg "Histogram.add_many: negative count";
+  if n > 0 then begin
+    let i = index_of t v in
+    t.buckets.(i) <- t.buckets.(i) + n;
+    t.total <- t.total + n;
+    t.sum <- t.sum +. (v *. float_of_int n);
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+  end
+
 let count t = t.total
 let sum t = t.sum
 let is_empty t = t.total = 0

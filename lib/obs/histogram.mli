@@ -19,6 +19,13 @@ val create : ?lo:float -> ?gamma:float -> ?buckets:int -> unit -> t
 val add : t -> float -> unit
 (** Record one observation.  @raise Invalid_argument on NaN. *)
 
+val add_many : t -> float -> int -> unit
+(** [add_many t v n] records [n] observations of value [v] in O(1) —
+    equivalent to calling [add t v] [n] times.  Lets batched simulators
+    replay millions of identical modeled requests per latency class
+    without a per-request loop.  A count of 0 is a no-op.
+    @raise Invalid_argument on NaN or a negative count. *)
+
 val count : t -> int
 val sum : t -> float
 val mean : t -> float

@@ -1,0 +1,57 @@
+(* Open-loop arrival processes.
+
+   Poisson: i.i.d. exponential inter-arrival times at the given rate.
+   Bursty: a two-state on/off modulated Poisson process (exponential
+   sojourns in each state, arrivals only while on) whose on-rate is scaled
+   so the long-run mean rate equals the requested one — burstiness changes
+   the variance of the arrival counts, not their mean. *)
+
+type process =
+  | Poisson
+  | Bursty of { on_s : float; off_s : float }
+
+let validate = function
+  | Poisson -> Ok ()
+  | Bursty { on_s; off_s } ->
+    if not (on_s > 0.) then Error "bursty: on period must be positive"
+    else if not (off_s >= 0.) then Error "bursty: off period must be non-negative"
+    else Ok ()
+
+let exponential prng ~rate =
+  if not (rate > 0.) then invalid_arg "Arrivals.exponential: rate must be positive";
+  (* Prng.float is in [0, 1), so 1 - u is in (0, 1] and the log is finite *)
+  -.log (1. -. Flo_faults.Prng.float prng) /. rate
+
+let iter prng ~process ~rate ~duration_s f =
+  if not (rate > 0.) then invalid_arg "Arrivals.iter: rate must be positive";
+  if not (duration_s >= 0.) then invalid_arg "Arrivals.iter: negative duration";
+  match process with
+  | Poisson ->
+    let t = ref (exponential prng ~rate) in
+    while !t < duration_s do
+      f !t;
+      t := !t +. exponential prng ~rate
+    done
+  | Bursty { on_s; off_s } ->
+    (* scale the on-rate so E[arrivals]/duration converges to [rate] *)
+    let on_rate = rate *. ((on_s +. off_s) /. on_s) in
+    let t = ref 0. in
+    let on = ref true in
+    while !t < duration_s do
+      let sojourn = exponential prng ~rate:(1. /. (if !on then on_s else off_s)) in
+      let stop = Float.min duration_s (!t +. sojourn) in
+      if !on then begin
+        let a = ref (!t +. exponential prng ~rate:on_rate) in
+        while !a < stop do
+          f !a;
+          a := !a +. exponential prng ~rate:on_rate
+        done
+      end;
+      t := stop;
+      on := not !on
+    done
+
+let count prng ~process ~rate ~duration_s =
+  let n = ref 0 in
+  iter prng ~process ~rate ~duration_s (fun _ -> incr n);
+  !n

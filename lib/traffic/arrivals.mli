@@ -1,0 +1,30 @@
+(** Seeded open-loop arrival processes.
+
+    Every draw comes from the {!Flo_faults.Prng} stream the caller passes
+    in, so an arrival timeline is a pure function of (seed, process, rate,
+    duration) — the traffic engine gives each tenant its own substream and
+    replays exactly at any [--jobs] value. *)
+
+type process =
+  | Poisson  (** i.i.d. exponential inter-arrivals *)
+  | Bursty of { on_s : float; off_s : float }
+      (** on/off modulated Poisson: exponential sojourns with the given
+          mean on/off periods (seconds); arrivals only while on, with the
+          on-rate scaled so the long-run mean rate is preserved. *)
+
+val validate : process -> (unit, string) result
+
+val exponential : Flo_faults.Prng.t -> rate:float -> float
+(** One exponential inter-arrival draw with the given rate (per second).
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val iter :
+  Flo_faults.Prng.t -> process:process -> rate:float -> duration_s:float ->
+  (float -> unit) -> unit
+(** Apply the callback to each arrival time in [[0, duration_s)], in
+    order.  @raise Invalid_argument on non-positive rate or negative
+    duration. *)
+
+val count :
+  Flo_faults.Prng.t -> process:process -> rate:float -> duration_s:float -> int
+(** Number of arrivals in the window. *)

@@ -1,0 +1,341 @@
+open Flo_engine
+open Flo_workloads
+
+(* Open-loop multi-tenant traffic over the 16-app catalog.
+
+   Tenants draw apps Zipfian-by-rank, jobs arrive per tenant as a seeded
+   Poisson (or on/off bursty) process, and each tenant runs either the
+   default or the compiler-optimized layouts.  The hierarchy is sharded by
+   storage node: tenant i lives on shard (i mod storage_nodes), each shard
+   is simulated by one task on the Parallel domain pool (batched Kernel
+   replay, per-shard congestion), and per-shard stats are merged in shard
+   order — so results are identical at every jobs setting.
+
+   Determinism: every stochastic draw comes from a splitmix64 substream
+   keyed by (seed, tenant, purpose) — never Random, never the wall clock —
+   so a (params, config) pair replays byte-identically, and a tenant's
+   stream does not depend on how other tenants are enumerated or scheduled. *)
+
+type params = {
+  mix : App.t list;  (** popularity order: head = rank 1 *)
+  tenants : int;
+  seed : int;
+  duration_s : float;  (** modeled window, seconds *)
+  rate : float;  (** mean job arrivals per tenant per modeled second *)
+  zipf_s : float;
+  opt_share : float;  (** fraction of tenants given optimized layouts *)
+  noisy_boost : float;  (** arrival-rate multiplier for tenant 0; 1 = off *)
+  process : Arrivals.process;
+  sample : int;  (** profile-mode sampling for kernel compilation *)
+}
+
+let default_params ~mix =
+  {
+    mix;
+    tenants = 64;
+    seed = 42;
+    duration_s = 10.;
+    rate = 2.;
+    zipf_s = 1.1;
+    opt_share = 0.5;
+    noisy_boost = 1.;
+    process = Arrivals.Poisson;
+    sample = 8;
+  }
+
+let validate p =
+  let ( let* ) = Result.bind in
+  let* () = if p.mix <> [] then Ok () else Error "mix must name at least one application" in
+  let* () = if p.tenants >= 0 then Ok () else Error "tenants must be non-negative" in
+  let* () = if p.duration_s > 0. then Ok () else Error "duration must be positive" in
+  let* () = if p.rate > 0. then Ok () else Error "rate must be positive" in
+  let* () = if p.zipf_s > 0. then Ok () else Error "zipf-s must be positive" in
+  let* () =
+    if p.opt_share >= 0. && p.opt_share <= 1. then Ok ()
+    else Error "opt-share must be in [0, 1]"
+  in
+  let* () = if p.noisy_boost >= 1. then Ok () else Error "noisy boost must be >= 1" in
+  let* () = if p.sample >= 1 then Ok () else Error "sample must be positive" in
+  Arrivals.validate p.process
+
+(* per-tenant substream purposes; keep the stride if adding one *)
+let streams_per_tenant = 4
+let stream_layout t = (t * streams_per_tenant) + 0
+let stream_arrivals t = (t * streams_per_tenant) + 1
+let stream_apps t = (t * streams_per_tenant) + 2
+
+type tenant_stats = {
+  tenant : int;
+  shard : int;
+  optimized : bool;
+  jobs : int;
+  requests : int;
+  rank_jobs : int array;  (** jobs per mix rank *)
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+}
+
+type shard_stats = {
+  shard : int;
+  shard_tenants : int;
+  shard_jobs : int;
+  shard_requests : int;
+  utilization : float;  (** summed service demand / modeled window *)
+  multiplier : float;  (** congestion latency factor, [1 + utilization] *)
+}
+
+type result = {
+  params : params;
+  shards : shard_stats array;
+  tenants_stats : tenant_stats array;  (** indexed by tenant id *)
+  kernels : (Kernel.t * Kernel.t) array;  (** per rank: (default, inter) *)
+  total_jobs : int;
+  total_requests : int;
+  offered_rps : float;  (** modeled requests per modeled second *)
+  agg_p50_us : float;
+  agg_p99_us : float;
+  fairness : float;  (** Jain's index over per-tenant mean latency *)
+  noisy_p99_delta_pct : float option;
+  opt_p50_advantage_pct : float option;
+  wall_s : float;  (** engine wall clock (machine-dependent) *)
+  modeled_rps : float;  (** total_requests / wall_s (machine-dependent) *)
+}
+
+let compile_kernels ?jobs ~config p =
+  let ranked = Array.of_list p.mix in
+  (* both modes for every rank, fanned over the pool; order by (rank, mode)
+     so the array layout is independent of scheduling *)
+  let tasks =
+    Array.concat
+      (List.map
+         (fun mode -> Array.map (fun app -> (app, mode)) ranked)
+         [ Kernel.Default; Kernel.Inter ])
+  in
+  let compiled =
+    Parallel.map ?jobs
+      (fun (app, mode) -> Kernel.compile ~sample:p.sample ~config ~mode app)
+      tasks
+  in
+  let n = Array.length ranked in
+  Array.init n (fun r -> (compiled.(r), compiled.(n + r)))
+
+(* one tenant's phase-A summary: layout decision, per-rank job counts and
+   the service demand those jobs put on the tenant's home shard *)
+type tenant_plan = {
+  pl_tenant : int;
+  pl_optimized : bool;
+  pl_rank_jobs : int array;
+  pl_demand_us : float;
+}
+
+let plan_tenant ~p ~zipf ~kernels tenant =
+  let prng_layout = Flo_faults.Prng.for_stream ~seed:p.seed ~stream:(stream_layout tenant) in
+  let optimized = Flo_faults.Prng.float prng_layout < p.opt_share in
+  let rate = if tenant = 0 then p.rate *. p.noisy_boost else p.rate in
+  let prng_arr = Flo_faults.Prng.for_stream ~seed:p.seed ~stream:(stream_arrivals tenant) in
+  let jobs =
+    Arrivals.count prng_arr ~process:p.process ~rate ~duration_s:p.duration_s
+  in
+  let prng_apps = Flo_faults.Prng.for_stream ~seed:p.seed ~stream:(stream_apps tenant) in
+  let rank_jobs = Array.make (Array.length kernels) 0 in
+  for _ = 1 to jobs do
+    let r = Zipf.sample zipf prng_apps in
+    rank_jobs.(r) <- rank_jobs.(r) + 1
+  done;
+  let demand = ref 0. in
+  Array.iteri
+    (fun r j ->
+      if j > 0 then begin
+        let kd, ki = kernels.(r) in
+        let k = if optimized then ki else kd in
+        demand := !demand +. (float_of_int j *. k.Kernel.demand_us_per_job)
+      end)
+    rank_jobs;
+  { pl_tenant = tenant; pl_optimized = optimized; pl_rank_jobs = rank_jobs;
+    pl_demand_us = !demand }
+
+(* Traffic histograms use a much finer bucket resolution than the default
+   run-level shape (gamma 1.05 ≈ 5% relative error instead of 60%): tenant
+   percentiles are compared against each other (optimized vs default,
+   co-located vs remote), and at gamma 1.6 those comparisons would collapse
+   onto shared bucket edges. *)
+let hist_create () = Flo_obs.Histogram.create ~gamma:1.05 ~buckets:640 ()
+
+let hist_merge_list hists = List.fold_left Flo_obs.Histogram.merge (hist_create ()) hists
+
+(* Phase B: replay the tenant's jobs through the batched kernels into a
+   latency histogram, all requests of one (tenant, rank) apportioned across
+   the kernel's latency classes in one O(classes) sweep. *)
+let replay_tenant ~kernels ~multiplier plan =
+  let hist = hist_create () in
+  let requests = ref 0 in
+  Array.iteri
+    (fun r j ->
+      if j > 0 then begin
+        let kd, ki = kernels.(r) in
+        let k = if plan.pl_optimized then ki else kd in
+        let n = j * k.Kernel.requests_per_job in
+        requests := !requests + n;
+        let counts = Kernel.apportion k ~requests:n in
+        Array.iteri
+          (fun i cnt ->
+            if cnt > 0 then
+              Flo_obs.Histogram.add_many hist
+                (k.Kernel.classes.(i).Kernel.latency_us *. multiplier)
+                cnt)
+          counts
+      end)
+    plan.pl_rank_jobs;
+  (hist, !requests)
+
+let jain xs =
+  match Array.length xs with
+  | 0 -> 1.
+  | n ->
+    let s = Array.fold_left ( +. ) 0. xs in
+    let s2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
+    if s2 = 0. then 1. else s *. s /. (float_of_int n *. s2)
+
+let mean_of = function
+  | [] -> 0.
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+let simulate ?jobs ?metrics ~config p =
+  (match validate p with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Traffic.Engine.simulate: " ^ msg));
+  let kernels = compile_kernels ?jobs ~config p in
+  let zipf = Zipf.make ~s:p.zipf_s ~n:(Array.length kernels) in
+  let shards_n = config.Config.topology.Flo_storage.Topology.storage_nodes in
+  let t0 = Unix.gettimeofday () in
+  (* one task per storage shard; a shard owns tenants (i mod shards_n) and
+     simulates them end to end, so cross-shard scheduling cannot matter *)
+  let shard_results =
+    Parallel.map ?jobs
+      (fun shard ->
+        let tenants =
+          List.filter (fun t -> t mod shards_n = shard)
+            (List.init p.tenants Fun.id)
+        in
+        let plans = List.map (plan_tenant ~p ~zipf ~kernels) tenants in
+        let demand_us = List.fold_left (fun a pl -> a +. pl.pl_demand_us) 0. plans in
+        let utilization = demand_us /. (p.duration_s *. 1e6) in
+        let multiplier = 1. +. utilization in
+        let per_tenant =
+          List.map
+            (fun pl ->
+              let hist, requests = replay_tenant ~kernels ~multiplier pl in
+              let stats =
+                {
+                  tenant = pl.pl_tenant;
+                  shard;
+                  optimized = pl.pl_optimized;
+                  jobs = Array.fold_left ( + ) 0 pl.pl_rank_jobs;
+                  requests;
+                  rank_jobs = pl.pl_rank_jobs;
+                  mean_us = Flo_obs.Histogram.mean hist;
+                  p50_us = Flo_obs.Histogram.percentile hist 0.5;
+                  p99_us = Flo_obs.Histogram.percentile hist 0.99;
+                }
+              in
+              (stats, hist))
+            plans
+        in
+        let shard_jobs = List.fold_left (fun a (s, _) -> a + s.jobs) 0 per_tenant in
+        let shard_requests =
+          List.fold_left (fun a (s, _) -> a + s.requests) 0 per_tenant
+        in
+        let shard_hist = hist_merge_list (List.map snd per_tenant) in
+        ( {
+            shard;
+            shard_tenants = List.length tenants;
+            shard_jobs;
+            shard_requests;
+            utilization;
+            multiplier;
+          },
+          List.map fst per_tenant,
+          shard_hist ))
+      (Array.init shards_n Fun.id)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let shards = Array.map (fun (s, _, _) -> s) shard_results in
+  let tenants_stats = Array.make p.tenants None in
+  Array.iter
+    (fun (_, stats, _) ->
+      List.iter (fun s -> tenants_stats.(s.tenant) <- Some s) stats)
+    shard_results;
+  let tenants_stats =
+    Array.map (function Some s -> s | None -> assert false) tenants_stats
+  in
+  let agg_hist =
+    hist_merge_list (Array.to_list (Array.map (fun (_, _, h) -> h) shard_results))
+  in
+  let total_jobs = Array.fold_left (fun a s -> a + s.shard_jobs) 0 shards in
+  let total_requests = Array.fold_left (fun a s -> a + s.shard_requests) 0 shards in
+  let active = List.filter (fun s -> s.requests > 0) (Array.to_list tenants_stats) in
+  let fairness = jain (Array.of_list (List.map (fun s -> s.mean_us) active)) in
+  let noisy_p99_delta_pct =
+    if p.noisy_boost <= 1. || shards_n < 2 || p.tenants < 2 then None
+    else begin
+      (* tenants co-located with the noisy tenant (its shard, itself
+         excluded) against tenants on the other shards *)
+      let noisy_shard = 0 in
+      let co, others =
+        List.partition
+          (fun (s : tenant_stats) -> s.shard = noisy_shard)
+          (List.filter (fun (s : tenant_stats) -> s.tenant <> 0) active)
+      in
+      match (co, others) with
+      | [], _ | _, [] -> None
+      | _ ->
+        let a = mean_of (List.map (fun s -> s.p99_us) co) in
+        let b = mean_of (List.map (fun s -> s.p99_us) others) in
+        if b = 0. then None else Some (100. *. ((a /. b) -. 1.))
+    end
+  in
+  let opt_p50_advantage_pct =
+    let opt, dfl = List.partition (fun s -> s.optimized) active in
+    match (opt, dfl) with
+    | [], _ | _, [] -> None
+    | _ ->
+      let o = mean_of (List.map (fun s -> s.p50_us) opt) in
+      let d = mean_of (List.map (fun s -> s.p50_us) dfl) in
+      if d = 0. then None else Some (100. *. ((d -. o) /. d))
+  in
+  (* per-tenant and per-shard counters for the observability layer; filled
+     after the parallel phase so the registry is only touched by one domain *)
+  (match metrics with
+  | None -> ()
+  | Some registry ->
+    Array.iter
+      (fun s ->
+        let labels = [ ("tenant", string_of_int s.tenant) ] in
+        Flo_obs.Metrics.incr ~by:s.jobs (Flo_obs.Metrics.counter registry ~labels "traffic.jobs");
+        Flo_obs.Metrics.incr ~by:s.requests
+          (Flo_obs.Metrics.counter registry ~labels "traffic.requests"))
+      tenants_stats;
+    Array.iter
+      (fun s ->
+        let labels = [ ("shard", string_of_int s.shard) ] in
+        Flo_obs.Metrics.incr ~by:s.shard_requests
+          (Flo_obs.Metrics.counter registry ~labels "traffic.shard_requests"))
+      shards);
+  {
+    params = p;
+    shards;
+    tenants_stats;
+    kernels;
+    total_jobs;
+    total_requests;
+    offered_rps = float_of_int total_requests /. p.duration_s;
+    agg_p50_us = Flo_obs.Histogram.percentile agg_hist 0.5;
+    agg_p99_us = Flo_obs.Histogram.percentile agg_hist 0.99;
+    fairness;
+    noisy_p99_delta_pct;
+    opt_p50_advantage_pct;
+    wall_s;
+    modeled_rps =
+      (if wall_s > 0. then float_of_int total_requests /. wall_s else 0.);
+  }

@@ -1,0 +1,85 @@
+(** Open-loop multi-tenant traffic engine with sharded simulation.
+
+    Tenants draw applications from a Zipfian popularity law over the mix,
+    jobs arrive per tenant as a seeded Poisson (or on/off bursty) process,
+    and each tenant runs either the default or the compiler-optimized
+    layouts.  The hierarchy is sharded by storage node — tenant [i] lives
+    on shard [i mod storage_nodes], each shard is one task on the
+    {!Flo_engine.Parallel} domain pool, and per-shard stats merge in shard
+    order — so every modeled quantity is identical at every [jobs] value.
+
+    All randomness routes through {!Flo_faults.Prng} substreams keyed by
+    (seed, tenant, purpose): runs are replay-exact and a tenant's stream
+    never depends on enumeration or scheduling order. *)
+
+open Flo_workloads
+
+type params = {
+  mix : App.t list;  (** popularity order: head = rank 1 *)
+  tenants : int;
+  seed : int;
+  duration_s : float;  (** modeled window, seconds *)
+  rate : float;  (** mean job arrivals per tenant per modeled second *)
+  zipf_s : float;
+  opt_share : float;  (** fraction of tenants given optimized layouts *)
+  noisy_boost : float;  (** arrival-rate multiplier for tenant 0; 1 = off *)
+  process : Arrivals.process;
+  sample : int;  (** profile-mode sampling for kernel compilation *)
+}
+
+val default_params : mix:App.t list -> params
+(** 64 tenants, seed 42, 10 modeled seconds at 2 jobs/s, zipf-s 1.1,
+    opt-share 0.5, no noisy tenant, Poisson arrivals, sample 8. *)
+
+val validate : params -> (unit, string) result
+
+type tenant_stats = {
+  tenant : int;
+  shard : int;
+  optimized : bool;
+  jobs : int;
+  requests : int;
+  rank_jobs : int array;  (** jobs per mix rank *)
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+}
+
+type shard_stats = {
+  shard : int;
+  shard_tenants : int;
+  shard_jobs : int;
+  shard_requests : int;
+  utilization : float;  (** summed service demand / modeled window *)
+  multiplier : float;  (** congestion latency factor, [1 + utilization] *)
+}
+
+type result = {
+  params : params;
+  shards : shard_stats array;
+  tenants_stats : tenant_stats array;  (** indexed by tenant id *)
+  kernels : (Kernel.t * Kernel.t) array;  (** per rank: (default, inter) *)
+  total_jobs : int;
+  total_requests : int;
+  offered_rps : float;  (** modeled requests per modeled second *)
+  agg_p50_us : float;
+  agg_p99_us : float;
+  fairness : float;  (** Jain's index over per-tenant mean latency *)
+  noisy_p99_delta_pct : float option;
+      (** mean p99 of tenants co-located with the noisy tenant vs the other
+          shards, percent; [None] without a noisy tenant or a counterpart *)
+  opt_p50_advantage_pct : float option;
+      (** how much lower the optimized tenants' mean p50 is, percent *)
+  wall_s : float;  (** engine wall clock (machine-dependent) *)
+  modeled_rps : float;  (** total_requests / wall_s (machine-dependent) *)
+}
+
+val simulate :
+  ?jobs:int -> ?metrics:Flo_obs.Metrics.t -> config:Flo_engine.Config.t ->
+  params -> result
+(** Compile the service kernels (one closed-loop run per (rank, mode)),
+    then replay the open-loop traffic shard by shard.  Every field except
+    [wall_s] and [modeled_rps] is a pure function of (params, config).
+    With [metrics], per-tenant [traffic.jobs]/[traffic.requests] and
+    per-shard [traffic.shard_requests] counters are recorded.
+    @raise Invalid_argument when {!validate} rejects the params. *)

@@ -1,0 +1,98 @@
+open Flo_engine
+open Flo_workloads
+
+(* A service kernel is the batched-event compilation of one (app, layout)
+   pair: one metrics-attached closed-loop run of the existing simulator is
+   distilled into (requests per job, service demand per job, a compact
+   per-request latency distribution).  The open-loop engine then models a
+   whole job in O(latency classes) histogram updates instead of walking
+   every element through the cache hierarchy — this is where the >= 10x
+   modeled-requests-per-second over the per-element simulate loop comes
+   from.  Compilation is deterministic (Run.run is), so kernels are
+   identical on every machine and at every jobs setting. *)
+
+type mode = Default | Inter
+
+let mode_to_string = function Default -> "default" | Inter -> "inter"
+
+type cls = { latency_us : float; weight : float }
+
+type t = {
+  app : string;
+  mode : mode;
+  requests_per_job : int;  (** block requests one run of the app issues *)
+  demand_us_per_job : float;  (** summed per-request modeled service time *)
+  elapsed_us_per_job : float;  (** modeled makespan of one run *)
+  classes : cls array;  (** per-request latency distribution; weights sum to 1 *)
+}
+
+let classes_of_histogram h =
+  let counts = Flo_obs.Histogram.counts h in
+  let bounds = Flo_obs.Histogram.bounds h in
+  let total = Flo_obs.Histogram.count h in
+  if total = 0 then [||]
+  else begin
+    let lo = Flo_obs.Histogram.min_value h and hi = Flo_obs.Histogram.max_value h in
+    let acc = ref [] in
+    Array.iteri
+      (fun i n ->
+        if n > 0 then begin
+          (* same clamp as Histogram.percentile: a bucket's representative
+             latency is its upper edge bounded by the observed extremes *)
+          let latency_us = Float.max lo (Float.min bounds.(i) hi) in
+          acc := { latency_us; weight = float_of_int n /. float_of_int total } :: !acc
+        end)
+      counts;
+    Array.of_list (List.rev !acc)
+  end
+
+let compile ?(sample = 1) ~config ~mode app =
+  let layouts =
+    match mode with
+    | Default -> Experiment.default_layouts app
+    | Inter -> Experiment.inter_layouts config app
+  in
+  let registry = Flo_obs.Metrics.create () in
+  let r = Run.run ~sample ~metrics:registry ~config ~layouts app in
+  let h = Flo_obs.Metrics.find_histogram registry "request_latency_us" in
+  let classes = match h with Some h -> classes_of_histogram h | None -> [||] in
+  let demand_us_per_job = match h with Some h -> Flo_obs.Histogram.sum h | None -> 0. in
+  {
+    app = app.App.name;
+    mode;
+    requests_per_job = r.Run.block_requests;
+    demand_us_per_job;
+    elapsed_us_per_job = r.Run.elapsed_us;
+    classes;
+  }
+
+(* Apportion [requests] across the latency classes by largest remainder —
+   deterministic (no draws), exact (counts sum to [requests]), and faithful
+   to the distribution to within one request per class. *)
+let apportion t ~requests =
+  let k = Array.length t.classes in
+  if requests <= 0 || k = 0 then [||]
+  else begin
+    let counts = Array.make k 0 in
+    let rems = Array.make k (0., 0) in
+    let assigned = ref 0 in
+    Array.iteri
+      (fun i c ->
+        let exact = c.weight *. float_of_int requests in
+        let base = int_of_float exact in
+        counts.(i) <- base;
+        assigned := !assigned + base;
+        rems.(i) <- (exact -. float_of_int base, i))
+      t.classes;
+    (* hand the leftover requests to the largest fractional remainders;
+       ties broken by class index so the result is order-stable *)
+    Array.sort
+      (fun (ra, ia) (rb, ib) -> if ra = rb then compare ia ib else compare rb ra)
+      rems;
+    let leftover = requests - !assigned in
+    for j = 0 to leftover - 1 do
+      let _, i = rems.(j mod k) in
+      counts.(i) <- counts.(i) + 1
+    done;
+    counts
+  end

@@ -1,0 +1,34 @@
+(** Batched service kernels: one (application, layout) pair compiled into a
+    compact per-request model by a single run of the closed-loop simulator.
+
+    The open-loop engine replays a kernel per arriving job in O(latency
+    classes) work, so a run models hundreds of millions of block requests
+    without touching the cache hierarchy per element.  Compilation is
+    deterministic — same config, same kernel, on every machine. *)
+
+type mode = Default | Inter
+
+val mode_to_string : mode -> string
+
+type cls = { latency_us : float; weight : float }
+
+type t = {
+  app : string;
+  mode : mode;
+  requests_per_job : int;  (** block requests one execution of the app issues *)
+  demand_us_per_job : float;  (** summed per-request modeled service time *)
+  elapsed_us_per_job : float;  (** modeled makespan of one execution *)
+  classes : cls array;
+      (** per-request latency distribution (weights sum to 1); empty only
+          when the run issued no block requests *)
+}
+
+val compile :
+  ?sample:int -> config:Flo_engine.Config.t -> mode:mode -> Flo_workloads.App.t -> t
+(** One metrics-attached [Run.run] under the chosen layouts; [sample]
+    forwards the simulator's profile-mode sampling factor. *)
+
+val apportion : t -> requests:int -> int array
+(** Split [requests] across [classes] by largest remainder: deterministic,
+    sums exactly to [requests], one entry per class ([[||]] when there are
+    no classes or no requests). *)

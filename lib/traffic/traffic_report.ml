@@ -1,0 +1,135 @@
+open Flo_engine
+
+(* Rendering for traffic-engine results.  Everything except {!wall_line} is
+   a pure function of the result's modeled fields, so the printed report is
+   byte-identical at every --jobs value — CI pins {!verdict_line} and diffs
+   whole reports with the [wall] line stripped. *)
+
+let mix_names (p : Engine.params) =
+  String.concat "," (List.map (fun a -> a.Flo_workloads.App.name) p.Engine.mix)
+
+let process_to_string = function
+  | Arrivals.Poisson -> "poisson"
+  | Arrivals.Bursty { on_s; off_s } ->
+    Printf.sprintf "bursty(on=%.3gs,off=%.3gs)" on_s off_s
+
+let opt_pct = function
+  | None -> "n/a"
+  | Some v -> Printf.sprintf "%+.1f%%" v
+
+(* largest-count rank of a tenant, ties to the more popular (lower) rank *)
+let dominant_rank rank_jobs =
+  let best = ref 0 in
+  Array.iteri (fun r j -> if j > rank_jobs.(!best) then best := r) rank_jobs;
+  !best
+
+let header_line (r : Engine.result) =
+  let p = r.Engine.params in
+  Printf.sprintf
+    "traffic: mix=%s tenants=%d duration=%.3gs rate=%.3g/s zipf-s=%.3g \
+     opt-share=%.3g noisy=%.3gx arrivals=%s seed=%d shards=%d"
+    (mix_names p) p.Engine.tenants p.Engine.duration_s p.Engine.rate p.Engine.zipf_s
+    p.Engine.opt_share p.Engine.noisy_boost
+    (process_to_string p.Engine.process)
+    p.Engine.seed (Array.length r.Engine.shards)
+
+let tenant_rows ?(max_rows = 8) (r : Engine.result) =
+  let p = r.Engine.params in
+  let apps = Array.of_list p.Engine.mix in
+  let by_requests =
+    List.sort
+      (fun (a : Engine.tenant_stats) b ->
+        compare (b.Engine.requests, a.Engine.tenant) (a.Engine.requests, b.Engine.tenant))
+      (Array.to_list r.Engine.tenants_stats)
+  in
+  let take =
+    let rec go n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: go (n - 1) rest
+    in
+    go (max 0 max_rows) by_requests
+  in
+  List.map
+    (fun (s : Engine.tenant_stats) ->
+      let app =
+        if s.Engine.jobs = 0 || Array.length s.Engine.rank_jobs = 0 then "-"
+        else apps.(dominant_rank s.Engine.rank_jobs).Flo_workloads.App.name
+      in
+      [
+        string_of_int s.Engine.tenant;
+        string_of_int s.Engine.shard;
+        (if s.Engine.optimized then "inter" else "default");
+        app;
+        string_of_int s.Engine.jobs;
+        string_of_int s.Engine.requests;
+        Report.f1 s.Engine.mean_us;
+        Report.f1 s.Engine.p50_us;
+        Report.f1 s.Engine.p99_us;
+      ])
+    take
+
+let shard_rows (r : Engine.result) =
+  Array.to_list
+    (Array.map
+       (fun (s : Engine.shard_stats) ->
+         [
+           string_of_int s.Engine.shard;
+           string_of_int s.Engine.shard_tenants;
+           string_of_int s.Engine.shard_jobs;
+           string_of_int s.Engine.shard_requests;
+           Report.f3 s.Engine.utilization;
+           Report.f3 s.Engine.multiplier;
+         ])
+       r.Engine.shards)
+
+let verdict_line (r : Engine.result) =
+  let p = r.Engine.params in
+  Printf.sprintf
+    "traffic %s tenants=%d seed=%d: requests=%d offered_rps=%.0f p50=%.1fus \
+     p99=%.1fus fairness=%.3f noisy_p99=%s opt_p50_adv=%s"
+    (mix_names p) p.Engine.tenants p.Engine.seed r.Engine.total_requests
+    r.Engine.offered_rps r.Engine.agg_p50_us r.Engine.agg_p99_us r.Engine.fairness
+    (opt_pct r.Engine.noisy_p99_delta_pct)
+    (opt_pct r.Engine.opt_p50_advantage_pct)
+
+let summary ?max_rows (r : Engine.result) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (header_line r);
+  Buffer.add_string b "\n\n";
+  Buffer.add_string b "== per-tenant modeled latency (top tenants by requests) ==\n";
+  Buffer.add_string b
+    (Report.table
+       ~header:
+         [ "tenant"; "shard"; "layout"; "top app"; "jobs"; "requests"; "mean us";
+           "p50 us"; "p99 us" ]
+       (tenant_rows ?max_rows r));
+  Buffer.add_string b "\n\n== per-shard (storage-node worker domains) ==\n";
+  Buffer.add_string b
+    (Report.table
+       ~header:[ "shard"; "tenants"; "jobs"; "requests"; "utilization"; "multiplier" ]
+       (shard_rows r));
+  Buffer.add_string b "\n\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "aggregate: %d jobs, %d modeled requests over %.3g modeled s (offered %.0f rps)\n"
+       r.Engine.total_jobs r.Engine.total_requests r.Engine.params.Engine.duration_s
+       r.Engine.offered_rps);
+  Buffer.add_string b
+    (Printf.sprintf "fairness (Jain, per-tenant mean latency): %.3f\n" r.Engine.fairness);
+  Buffer.add_string b
+    (Printf.sprintf "noisy-neighbor p99 delta (co-located vs others): %s\n"
+       (opt_pct r.Engine.noisy_p99_delta_pct));
+  Buffer.add_string b
+    (Printf.sprintf "optimized-vs-default p50 advantage: %s\n"
+       (opt_pct r.Engine.opt_p50_advantage_pct));
+  Buffer.contents b
+
+let wall_line (r : Engine.result) =
+  Printf.sprintf "[wall] engine %.3f s, %.3g modeled requests/s" r.Engine.wall_s
+    r.Engine.modeled_rps
+
+let print ?max_rows (r : Engine.result) =
+  print_string (summary ?max_rows r);
+  print_endline (wall_line r);
+  print_endline (verdict_line r)

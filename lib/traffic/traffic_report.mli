@@ -1,0 +1,23 @@
+(** Rendering for traffic-engine results.
+
+    Everything except {!wall_line} depends only on the result's modeled
+    fields, so the report is byte-identical at every [--jobs] value; CI
+    pins {!verdict_line} verbatim and diffs whole reports with the
+    [[wall]] line stripped.  All renderers accept degenerate inputs — zero
+    tenants, a single tenant, a single-app mix, tenants with no arrivals —
+    and produce a well-formed (possibly empty-bodied) table. *)
+
+val summary : ?max_rows:int -> Engine.result -> string
+(** Header, per-tenant table (top [max_rows], default 8, by request
+    count), per-shard table, and the aggregate/fairness lines. *)
+
+val verdict_line : Engine.result -> string
+(** One deterministic line:
+    [traffic MIX tenants=N seed=S: requests=... offered_rps=... p50=...
+    p99=... fairness=... noisy_p99=... opt_p50_adv=...] *)
+
+val wall_line : Engine.result -> string
+(** Machine-dependent throughput line, prefixed [[wall]]. *)
+
+val print : ?max_rows:int -> Engine.result -> unit
+(** [summary], then {!wall_line}, then {!verdict_line}, to stdout. *)

@@ -1,0 +1,41 @@
+(* Zipfian popularity over a ranked catalog.
+
+   Rank r (0-based) has weight 1 / (r+1)^s; the sampler inverts the
+   cumulative distribution with a binary search over a precomputed table,
+   so one draw costs one uniform variate plus O(log n) comparisons and the
+   table is shared read-only across worker domains. *)
+
+type t = { s : float; cum : float array }
+
+let make ~s ~n =
+  if n < 1 then invalid_arg "Zipf.make: need at least one rank";
+  if not (s > 0.) then invalid_arg "Zipf.make: exponent must be positive";
+  let w = Array.init n (fun r -> 1. /. (float_of_int (r + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0. w in
+  let cum = Array.make n 0. in
+  let acc = ref 0. in
+  for r = 0 to n - 1 do
+    acc := !acc +. (w.(r) /. total);
+    cum.(r) <- !acc
+  done;
+  (* force the last edge to exactly 1 so no uniform draw can fall past it *)
+  cum.(n - 1) <- 1.;
+  { s; cum }
+
+let support t = Array.length t.cum
+
+let exponent t = t.s
+
+let pmf t r =
+  if r < 0 || r >= support t then invalid_arg "Zipf.pmf: rank out of range";
+  if r = 0 then t.cum.(0) else t.cum.(r) -. t.cum.(r - 1)
+
+let sample t prng =
+  let u = Flo_faults.Prng.float prng in
+  (* smallest r with cum.(r) > u *)
+  let lo = ref 0 and hi = ref (support t - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cum.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo

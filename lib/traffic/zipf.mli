@@ -1,0 +1,21 @@
+(** Zipfian popularity distribution over a ranked catalog.
+
+    Rank [r] (0-based) is drawn with probability proportional to
+    [1 / (r+1)^s] — the standard web/tenant popularity law.  The sampler
+    is a pure function of the {!Flo_faults.Prng} stream it is handed, so
+    traffic built on it is replay-exact. *)
+
+type t
+
+val make : s:float -> n:int -> t
+(** Distribution over ranks [0 .. n-1] with exponent [s].
+    @raise Invalid_argument if [n < 1] or [s <= 0]. *)
+
+val support : t -> int
+val exponent : t -> float
+
+val pmf : t -> int -> float
+(** Probability of rank [r].  @raise Invalid_argument out of range. *)
+
+val sample : t -> Flo_faults.Prng.t -> int
+(** One rank draw; advances the generator by exactly one variate. *)

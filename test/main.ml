@@ -13,4 +13,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("fidelity", Test_fidelity.suite);
       ("bench", Test_bench.suite);
+      ("traffic", Test_traffic.suite);
     ]

@@ -72,6 +72,60 @@ let prop_json_roundtrip =
     (QCheck.make json_gen)
     (fun t -> J.parse (J.to_string t) = t)
 
+(* -- parser robustness ---------------------------------------------------- *)
+
+(* arbitrary byte strings, not just printable ones: the manifest parser is
+   the only component that reads files an attacker (or a crashed writer)
+   controls, so it must be total — structured [Error], never an exception *)
+let hostile_string_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (* raw bytes *)
+        (3, string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 64));
+        (* json-ish prefixes that exercise every parser state *)
+        ( 2,
+          map
+            (fun (a, b) -> a ^ b)
+            (pair
+               (oneofl
+                  [ "{"; "["; "{\"a\":"; "[1,"; "\""; "\\"; "tru"; "-"; "1e";
+                    "{\"schema\":\"flopt-bench\","; "nul" ])
+               (string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 32)) ) );
+      ])
+
+let prop_parse_string_never_raises =
+  QCheck.Test.make ~count:1000
+    ~name:"Bench_schema.parse_string is total on arbitrary bytes"
+    (QCheck.make ~print:String.escaped hostile_string_gen)
+    (fun s ->
+      match B.parse_string s with Ok _ | Error _ -> true)
+
+let test_parser_depth_limited () =
+  (* a hostile "[[[[..." must come back as a structured error, not blow the
+     stack; depths inside the cap still parse *)
+  let deep n = String.make n '[' ^ "1" ^ String.make n ']' in
+  (match B.parse_string (deep 100_000) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted 100k-deep nesting");
+  (match J.parse (deep 100_000) with
+  | exception J.Parse _ -> ()
+  | _ -> Alcotest.fail "Json.parse accepted 100k-deep nesting");
+  checkb "shallow nesting still parses" true
+    (match J.parse (deep 20) with Arr _ -> true | _ -> false)
+
+let fixture name =
+  if Sys.file_exists (Filename.concat "data" name) then Filename.concat "data" name
+  else Filename.concat "test/data" name
+
+let test_hostile_fixtures_load_to_errors () =
+  List.iter
+    (fun name ->
+      match B.load (fixture name) with
+      | Error e -> checkb (name ^ " has a message") true (String.length e > 0)
+      | Ok _ -> Alcotest.failf "loaded %s as a valid manifest" name)
+    [ "truncated_manifest.json"; "hostile_manifest.json" ]
+
 (* -- manifest schema ------------------------------------------------------ *)
 
 let metric ?(gated = true) app name value =
@@ -212,13 +266,18 @@ let prop_self_diff_never_regresses =
 
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_json_roundtrip; prop_self_diff_never_regresses ]
+    [
+      prop_json_roundtrip; prop_parse_string_never_raises;
+      prop_self_diff_never_regresses;
+    ]
 
 let suite =
   [
     ("json roundtrip by hand", `Quick, test_json_roundtrip_by_hand);
     ("json whitespace", `Quick, test_json_parse_accepts_whitespace);
     ("json rejects garbage", `Quick, test_json_parse_rejects_garbage);
+    ("parser depth limited", `Quick, test_parser_depth_limited);
+    ("hostile fixtures load to errors", `Quick, test_hostile_fixtures_load_to_errors);
     ("manifest roundtrip", `Quick, test_manifest_roundtrip);
     ("validate rejects bad manifests", `Quick, test_validate_rejects);
     ("save is atomic", `Quick, test_save_is_atomic);

@@ -418,9 +418,33 @@ let test_optimizer_degradation_consistent () =
                plan.Optimizer.decisions)))
     Suite.all
 
+(* the --faults spec comes straight off the command line: the grammar must
+   be total — structured Error on any byte string, never an exception *)
+let prop_fault_plan_parse_never_raises =
+  QCheck.Test.make ~count:1000 ~name:"Fault_plan.of_string is total on arbitrary bytes"
+    (QCheck.make ~print:String.escaped
+       QCheck.Gen.(
+         frequency
+           [
+             (3, string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 48));
+             (* clause-shaped prefixes that reach every parser state *)
+             ( 2,
+               map
+                 (fun (a, b) -> a ^ b)
+                 (pair
+                    (oneofl
+                       [ "read-error:"; "latency:rate="; "degrade:mult=";
+                         "cache-off:node="; "failover:"; "retry:max="; ";;";
+                         "read-error:rate=0.1,"; "latency:rate=nan,mult=" ])
+                    (string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 24)) ) );
+           ]))
+    (fun s ->
+      match Fault_plan.of_string s with Ok _ | Error _ -> true)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_plan_roundtrip; prop_chaos_jobs_equivalence ]
+    [ prop_plan_roundtrip; prop_fault_plan_parse_never_raises;
+      prop_chaos_jobs_equivalence ]
 
 let suite =
   [

@@ -91,6 +91,49 @@ let prop_histogram_add_merge_preserves_count =
       && Histogram.sum m = Histogram.sum hall
       && Array.fold_left ( + ) 0 (Histogram.counts m) = Histogram.count m)
 
+(* the traffic engine's bulk-replay primitive must be indistinguishable
+   from the per-observation loop it shortcuts *)
+let prop_histogram_add_many_equals_repeated_add =
+  QCheck.Test.make ~name:"histogram add_many = n repeated adds" ~count:100
+    QCheck.(pair samples_arb (small_list (int_bound 5_000)))
+    (fun (values, counts) ->
+      let pairs =
+        List.map2
+          (fun v n -> (v, n))
+          values
+          (List.init (List.length values) (fun i ->
+               match List.nth_opt counts i with Some n -> n | None -> 1))
+      in
+      let bulk = Histogram.create () and looped = Histogram.create () in
+      List.iter (fun (v, n) -> Histogram.add_many bulk v n) pairs;
+      List.iter
+        (fun (v, n) ->
+          for _ = 1 to n do
+            Histogram.add looped v
+          done)
+        pairs;
+      Histogram.count bulk = Histogram.count looped
+      && Histogram.counts bulk = Histogram.counts looped
+      && Float.abs (Histogram.sum bulk -. Histogram.sum looped)
+         <= 1e-6 *. Float.max 1. (Float.abs (Histogram.sum looped))
+      && Histogram.min_value bulk = Histogram.min_value looped
+      && Histogram.max_value bulk = Histogram.max_value looped
+      && (Histogram.is_empty bulk
+         || Histogram.percentile bulk 0.99 = Histogram.percentile looped 0.99))
+
+let test_histogram_add_many_validation () =
+  let h = Histogram.create () in
+  Histogram.add_many h 5. 0;
+  Alcotest.(check bool) "count 0 is a no-op" true (Histogram.is_empty h);
+  Alcotest.(check bool) "negative count rejected" true
+    (match Histogram.add_many h 5. (-1) with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "NaN rejected" true
+    (match Histogram.add_many h Float.nan 3 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 let prop_histogram_bucket_monotone =
   QCheck.Test.make ~name:"histogram buckets are monotone" ~count:100 samples_arb
     (fun xs ->
@@ -490,6 +533,7 @@ let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_histogram_add_merge_preserves_count;
+      prop_histogram_add_many_equals_repeated_add;
       prop_histogram_bucket_monotone;
       prop_event_json_roundtrip;
       prop_metrics_merge_commutative;
@@ -501,6 +545,7 @@ let qsuite =
 let suite =
   [
     ("histogram basics", `Quick, test_histogram_basics);
+    ("histogram add_many validation", `Quick, test_histogram_add_many_validation);
     ("histogram percentile ordering", `Quick, test_histogram_percentile_order);
     ("histogram edge shapes", `Quick, test_histogram_edge_shapes);
     ("event json parsing", `Quick, test_event_json_parse);

@@ -1,0 +1,378 @@
+(* The multi-tenant traffic engine: statistical properties of the Zipf and
+   arrival samplers (tolerance bands sized >= 5 sigma so random qcheck seeds
+   cannot flake them), seed determinism and substream enumeration-order
+   independence, the jobs-equivalence of `flopt traffic` output, kernel
+   apportionment laws, and degenerate-input report coverage. *)
+
+open Flo_traffic
+
+let checkb = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let test_jobs = Test_parallel.test_jobs
+
+(* ---- Zipf -------------------------------------------------------------- *)
+
+let test_zipf_pmf_sums_to_one () =
+  List.iter
+    (fun (s, n) ->
+      let z = Zipf.make ~s ~n in
+      let total = ref 0. in
+      for r = 0 to n - 1 do
+        let p = Zipf.pmf z r in
+        checkb "pmf positive" true (p > 0.);
+        total := !total +. p
+      done;
+      checkb
+        (Printf.sprintf "pmf sums to 1 (s=%g n=%d)" s n)
+        true
+        (Float.abs (!total -. 1.) < 1e-9);
+      (* popularity is monotone decreasing in rank *)
+      for r = 1 to n - 1 do
+        checkb "pmf decreasing" true (Zipf.pmf z r <= Zipf.pmf z (r - 1))
+      done)
+    [ (0.5, 2); (1.1, 16); (2.0, 7); (1.0, 1) ]
+
+let test_zipf_validation () =
+  List.iter
+    (fun (s, n) ->
+      checkb
+        (Printf.sprintf "rejects s=%g n=%d" s n)
+        true
+        (match Zipf.make ~s ~n with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+    [ (0., 4); (-1., 4); (1.1, 0); (1.1, -3); (Float.nan, 4) ]
+
+(* rank-frequency over 20k draws within an absolute band: each frequency is
+   a binomial proportion with sd <= sqrt(0.25/20000) ~ 0.0035, so 0.025 is
+   over 7 sigma *)
+let prop_zipf_rank_frequency =
+  QCheck.Test.make ~count:20
+    ~name:"zipf: empirical rank frequencies track the pmf"
+    QCheck.(
+      make
+        ~print:(fun (s, n, seed) -> Printf.sprintf "s=%g n=%d seed=%d" s n seed)
+        Gen.(
+          let* s = oneofl [ 0.7; 1.1; 1.5 ] in
+          let* n = int_range 2 10 in
+          let* seed = small_nat in
+          return (s, n, seed)))
+    (fun (s, n, seed) ->
+      let z = Zipf.make ~s ~n in
+      let prng = Flo_faults.Prng.for_stream ~seed ~stream:0 in
+      let draws = 20_000 in
+      let freq = Array.make n 0 in
+      for _ = 1 to draws do
+        let r = Zipf.sample z prng in
+        if r < 0 || r >= n then QCheck.Test.fail_report "rank out of support";
+        freq.(r) <- freq.(r) + 1
+      done;
+      Array.for_all Fun.id
+        (Array.init n (fun r ->
+             Float.abs
+               ((float_of_int freq.(r) /. float_of_int draws) -. Zipf.pmf z r)
+             < 0.025)))
+
+(* ---- arrivals ---------------------------------------------------------- *)
+
+(* 10k+ exponential draws: sample mean of inter-arrivals has sd
+   (1/rate)/sqrt(n) ~ 0.2% of the mean, so a 5% band is ~25 sigma; the
+   variance estimator's sd is var*sqrt(2/n) ~ 1.4%, so 20% is ~14 sigma *)
+let test_poisson_interarrival_moments () =
+  let rate = 5. in
+  let prng = Flo_faults.Prng.for_stream ~seed:11 ~stream:3 in
+  let n = 10_000 in
+  let xs = Array.init n (fun _ -> Arrivals.exponential prng ~rate) in
+  let mean = Array.fold_left ( +. ) 0. xs /. float_of_int n in
+  let var =
+    Array.fold_left (fun a x -> a +. ((x -. mean) ** 2.)) 0. xs /. float_of_int n
+  in
+  checkb "all positive" true (Array.for_all (fun x -> x >= 0.) xs);
+  checkb
+    (Printf.sprintf "mean %.4f ~ 1/rate" mean)
+    true
+    (Float.abs (mean -. (1. /. rate)) < 0.05 /. rate);
+  checkb
+    (Printf.sprintf "variance %.5f ~ 1/rate^2" var)
+    true
+    (Float.abs (var -. (1. /. (rate *. rate))) < 0.2 /. (rate *. rate))
+
+(* arrival count over a long window: Poisson(rate*T) has sd sqrt(rate*T);
+   a 5*sqrt band flakes ~1 in 3.5 million runs *)
+let prop_arrival_count_tracks_rate =
+  QCheck.Test.make ~count:20 ~name:"arrivals: count ~ rate * duration"
+    QCheck.(
+      make
+        ~print:(fun (rate, seed, bursty) ->
+          Printf.sprintf "rate=%g seed=%d bursty=%b" rate seed bursty)
+        Gen.(
+          let* rate = oneofl [ 2.; 8. ] in
+          let* seed = small_nat in
+          let* bursty = bool in
+          return (rate, seed, bursty)))
+    (fun (rate, seed, bursty) ->
+      let process =
+        if bursty then Arrivals.Bursty { on_s = 3.; off_s = 1. }
+        else Arrivals.Poisson
+      in
+      let duration_s = 500. in
+      let prng = Flo_faults.Prng.for_stream ~seed ~stream:1 in
+      let n = Arrivals.count prng ~process ~rate ~duration_s in
+      let expected = rate *. duration_s in
+      (* the on/off modulation widens the count spread; double the band *)
+      let band = (if bursty then 10. else 5.) *. sqrt expected in
+      Float.abs (float_of_int n -. expected) < band)
+
+let test_arrivals_ordered_and_in_window () =
+  List.iter
+    (fun process ->
+      let prng = Flo_faults.Prng.for_stream ~seed:5 ~stream:2 in
+      let last = ref (-1.) in
+      let n = ref 0 in
+      Arrivals.iter prng ~process ~rate:4. ~duration_s:25. (fun t ->
+          checkb "within window" true (t >= 0. && t < 25.);
+          checkb "non-decreasing" true (t >= !last);
+          last := t;
+          incr n);
+      checkb "some arrivals" true (!n > 0))
+    [ Arrivals.Poisson; Arrivals.Bursty { on_s = 0.5; off_s = 0.5 } ]
+
+let test_arrivals_validation () =
+  List.iter
+    (fun p ->
+      checkb "invalid process rejected" true
+        (Result.is_error (Arrivals.validate p)))
+    [
+      Arrivals.Bursty { on_s = 0.; off_s = 1. };
+      Arrivals.Bursty { on_s = 1.; off_s = -1. };
+      Arrivals.Bursty { on_s = Float.nan; off_s = 1. };
+    ];
+  checkb "poisson valid" true (Result.is_ok (Arrivals.validate Arrivals.Poisson))
+
+(* ---- seed determinism -------------------------------------------------- *)
+
+let test_same_seed_same_event_stream () =
+  let timeline seed =
+    let prng = Flo_faults.Prng.for_stream ~seed ~stream:7 in
+    let acc = ref [] in
+    Arrivals.iter prng ~process:(Arrivals.Bursty { on_s = 2.; off_s = 1. })
+      ~rate:3. ~duration_s:50.
+      (fun t -> acc := t :: !acc);
+    List.rev !acc
+  in
+  checkb "same seed, identical timeline" true (timeline 42 = timeline 42);
+  checkb "different seed, different timeline" true (timeline 42 <> timeline 43)
+
+let small_config = Test_parallel.small_config ~block_elems:16 ~threads:8
+let toy_mix = [ Test_parallel.toy_col; Test_parallel.toy_row ]
+
+let toy_params =
+  {
+    (Engine.default_params ~mix:toy_mix) with
+    Engine.tenants = 12;
+    duration_s = 3.;
+    rate = 1.5;
+    sample = 1;
+  }
+
+let test_simulate_replay_exact () =
+  let render () =
+    let r = Engine.simulate ~jobs:1 ~config:small_config toy_params in
+    Traffic_report.summary r ^ Traffic_report.verdict_line r
+  in
+  check_str "two runs render identically" (render ()) (render ())
+
+(* a tenant's substreams are keyed by (seed, tenant), never by enumeration
+   order: growing the tenant count must not disturb earlier tenants' layout
+   decisions or job counts *)
+let test_substreams_enumeration_independent () =
+  let stats tenants =
+    Engine.simulate ~jobs:1 ~config:small_config
+      { toy_params with Engine.tenants }
+  in
+  let small = stats 5 and large = stats 11 in
+  for t = 0 to 4 do
+    let a = small.Engine.tenants_stats.(t)
+    and b = large.Engine.tenants_stats.(t) in
+    checkb
+      (Printf.sprintf "tenant %d layout decision stable" t)
+      true
+      (a.Engine.optimized = b.Engine.optimized);
+    check_int (Printf.sprintf "tenant %d job count stable" t) a.Engine.jobs
+      b.Engine.jobs;
+    checkb
+      (Printf.sprintf "tenant %d rank mix stable" t)
+      true
+      (a.Engine.rank_jobs = b.Engine.rank_jobs)
+  done
+
+(* ---- jobs equivalence (qcheck) ----------------------------------------- *)
+
+let traffic_params_arb =
+  QCheck.make
+    ~print:(fun (tenants, seed, zipf_s, opt_share, bursty, noisy) ->
+      Printf.sprintf "tenants=%d seed=%d zipf=%g opt=%g bursty=%b noisy=%g"
+        tenants seed zipf_s opt_share bursty noisy)
+    QCheck.Gen.(
+      let* tenants = int_range 0 10 in
+      let* seed = small_nat in
+      let* zipf_s = oneofl [ 0.8; 1.1; 1.6 ] in
+      let* opt_share = oneofl [ 0.; 0.5; 1. ] in
+      let* bursty = bool in
+      let* noisy = oneofl [ 1.; 4. ] in
+      return (tenants, seed, zipf_s, opt_share, bursty, noisy))
+
+let prop_traffic_jobs_equivalence =
+  QCheck.Test.make ~count:10
+    ~name:"traffic: gated output identical at --jobs 1 and --jobs N"
+    traffic_params_arb
+    (fun (tenants, seed, zipf_s, opt_share, bursty, noisy) ->
+      let params =
+        {
+          (Engine.default_params ~mix:toy_mix) with
+          Engine.tenants;
+          seed;
+          duration_s = 2.;
+          zipf_s;
+          opt_share;
+          noisy_boost = noisy;
+          process =
+            (if bursty then Arrivals.Bursty { on_s = 1.; off_s = 0.5 }
+             else Arrivals.Poisson);
+          sample = 1;
+        }
+      in
+      let render jobs =
+        let r = Engine.simulate ~jobs ~config:small_config params in
+        Traffic_report.summary r ^ Traffic_report.verdict_line r
+      in
+      render 1 = render test_jobs)
+
+(* ---- kernels ----------------------------------------------------------- *)
+
+let test_kernel_compile_shapes () =
+  List.iter
+    (fun mode ->
+      let k = Kernel.compile ~config:small_config ~mode Test_parallel.toy_col in
+      checkb "requests positive" true (k.Kernel.requests_per_job > 0);
+      checkb "demand positive" true (k.Kernel.demand_us_per_job > 0.);
+      checkb "classes non-empty" true (Array.length k.Kernel.classes > 0);
+      let wsum =
+        Array.fold_left (fun a c -> a +. c.Kernel.weight) 0. k.Kernel.classes
+      in
+      checkb "weights sum to 1" true (Float.abs (wsum -. 1.) < 1e-9);
+      Array.iter
+        (fun c -> checkb "latency positive" true (c.Kernel.latency_us > 0.))
+        k.Kernel.classes)
+    [ Kernel.Default; Kernel.Inter ]
+
+let prop_apportion_sums_exactly =
+  QCheck.Test.make ~count:100
+    ~name:"kernel: apportionment sums exactly to the request count"
+    QCheck.(pair (int_bound 2_000_000) (int_bound 1000))
+    (fun (requests, salt) ->
+      let k =
+        Kernel.compile ~config:small_config
+          ~mode:(if salt mod 2 = 0 then Kernel.Default else Kernel.Inter)
+          Test_parallel.toy_row
+      in
+      let counts = Kernel.apportion k ~requests in
+      Array.length counts = Array.length k.Kernel.classes
+      && Array.for_all (fun c -> c >= 0) counts
+      && Array.fold_left ( + ) 0 counts = requests
+      && Kernel.apportion k ~requests = counts)
+
+(* ---- degenerate inputs ------------------------------------------------- *)
+
+let test_degenerate_reports_render () =
+  let render params =
+    let r = Engine.simulate ~jobs:1 ~config:small_config params in
+    let s = Traffic_report.summary r ^ Traffic_report.verdict_line r in
+    checkb "renders non-empty" true (String.length s > 0);
+    r
+  in
+  (* zero tenants: no traffic at all *)
+  let r0 = render { toy_params with Engine.tenants = 0 } in
+  check_int "0 tenants, 0 requests" 0 r0.Engine.total_requests;
+  checkb "0 tenants, fairness 1" true (r0.Engine.fairness = 1.);
+  checkb "0 tenants, p99 0" true (r0.Engine.agg_p99_us = 0.);
+  (* one tenant: no neighbors to be noisy towards *)
+  let r1 = render { toy_params with Engine.tenants = 1; noisy_boost = 4. } in
+  checkb "1 tenant, no noisy delta" true (r1.Engine.noisy_p99_delta_pct = None);
+  (* single-app mix, everything optimized: no default cohort to compare *)
+  let rs =
+    render
+      {
+        toy_params with
+        Engine.mix = [ Test_parallel.toy_col ];
+        opt_share = 1.;
+        tenants = 3;
+      }
+  in
+  checkb "single-app mix, no opt delta" true (rs.Engine.opt_p50_advantage_pct = None);
+  (* empty-histogram percentile edge straight through the Report path *)
+  let h = Flo_obs.Histogram.create () in
+  checkb "empty histogram p99 = 0" true (Flo_obs.Histogram.percentile h 0.99 = 0.)
+
+let test_validate_rejects_bad_params () =
+  List.iter
+    (fun (label, p) ->
+      checkb label true (Result.is_error (Engine.validate p)))
+    [
+      ("empty mix", { toy_params with Engine.mix = [] });
+      ("negative tenants", { toy_params with Engine.tenants = -1 });
+      ("zero duration", { toy_params with Engine.duration_s = 0. });
+      ("zero rate", { toy_params with Engine.rate = 0. });
+      ("zero zipf", { toy_params with Engine.zipf_s = 0. });
+      ("opt share over 1", { toy_params with Engine.opt_share = 1.5 });
+      ("noisy below 1", { toy_params with Engine.noisy_boost = 0.5 });
+      ("zero sample", { toy_params with Engine.sample = 0 });
+      ( "bad burst",
+        { toy_params with Engine.process = Arrivals.Bursty { on_s = 0.; off_s = 1. } } );
+    ];
+  checkb "defaults valid" true (Result.is_ok (Engine.validate toy_params))
+
+let test_metrics_counters_recorded () =
+  let registry = Flo_obs.Metrics.create () in
+  let r =
+    Engine.simulate ~jobs:test_jobs ~metrics:registry ~config:small_config
+      toy_params
+  in
+  let total =
+    List.fold_left
+      (fun acc (name, _, v) ->
+        match v with
+        | Flo_obs.Metrics.Counter c when name = "traffic.requests" -> acc + c
+        | _ -> acc)
+      0
+      (Flo_obs.Metrics.to_list registry)
+  in
+  check_int "per-tenant request counters sum to the total" r.Engine.total_requests
+    total
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_zipf_rank_frequency;
+      prop_arrival_count_tracks_rate;
+      prop_traffic_jobs_equivalence;
+      prop_apportion_sums_exactly;
+    ]
+
+let suite =
+  [
+    ("zipf pmf", `Quick, test_zipf_pmf_sums_to_one);
+    ("zipf validation", `Quick, test_zipf_validation);
+    ("poisson inter-arrival moments", `Quick, test_poisson_interarrival_moments);
+    ("arrivals ordered in window", `Quick, test_arrivals_ordered_and_in_window);
+    ("arrivals validation", `Quick, test_arrivals_validation);
+    ("same seed, same event stream", `Quick, test_same_seed_same_event_stream);
+    ("simulate replay-exact", `Quick, test_simulate_replay_exact);
+    ("substreams enumeration-independent", `Quick, test_substreams_enumeration_independent);
+    ("kernel compile shapes", `Quick, test_kernel_compile_shapes);
+    ("degenerate reports render", `Quick, test_degenerate_reports_render);
+    ("params validation", `Quick, test_validate_rejects_bad_params);
+    ("metrics counters recorded", `Quick, test_metrics_counters_recorded);
+  ]
+  @ qsuite
