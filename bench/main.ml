@@ -556,12 +556,22 @@ let compile_bench () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
   let results = Analyze.all ols instance raw in
   print_endline "== C1: compile-time cost of the pass (bechamel) ==";
-  Hashtbl.iter
-    (fun name res ->
-      match Analyze.OLS.estimates res with
-      | Some [ est ] -> Printf.printf "%-28s %12.1f us per invocation\n" name (est /. 1000.)
-      | _ -> Printf.printf "%-28s (no estimate)\n" name)
-    results;
+  (* gather first so the name column is as wide as its widest cell (and the
+     rows print in a stable order, not Hashtbl order) *)
+  let rows =
+    Hashtbl.fold
+      (fun name res acc ->
+        let cell =
+          match Analyze.OLS.estimates res with
+          | Some [ est ] -> Printf.sprintf "%12.1f us per invocation" (est /. 1000.)
+          | _ -> "(no estimate)"
+        in
+        (name, cell) :: acc)
+      results []
+    |> List.sort compare
+  in
+  let width = List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 rows in
+  List.iter (fun (name, cell) -> Printf.printf "%-*s %s\n" width name cell) rows;
   print_newline ();
   print_endline
     "(paper: +36% average compilation time, max ~50 s inside SUIF; our pass runs on\n\
@@ -681,8 +691,10 @@ let json_mode args =
        along for scale context. *)
     Printf.eprintf "bench json: traffic engine...\n%!";
     let params =
+      (* 8 windows so the ride-along SLO metrics see real multi-window
+         behavior instead of the degenerate single-window verdict *)
       { (Flo_traffic.Engine.default_params ~mix:selected) with
-        Flo_traffic.Engine.sample }
+        Flo_traffic.Engine.sample; windows = 8 }
     in
     let t0 = Unix.gettimeofday () in
     let result = Flo_traffic.Engine.simulate ~jobs ~config params in
@@ -700,6 +712,25 @@ let json_mode args =
     let m ~name ~value ~unit_ =
       { Bench_schema.app = "_traffic"; name; value; unit_; gated = false }
     in
+    let slo_metrics =
+      (* fleet SLO health of the same run: deterministic and jobs-invariant,
+         but trajectory data (it moves whenever the modeled engine is meant
+         to improve), so ungated like the rest of the traffic numbers *)
+      match Flo_obs.Slo.parse "p99<100ms@99" with
+      | Error _ -> []
+      | Ok spec ->
+        let e = Flo_traffic.Slo_eval.evaluate spec result in
+        let v = e.Flo_traffic.Slo_eval.fleet.Flo_traffic.Slo_eval.verdict in
+        let s ~name ~value ~unit_ =
+          { Bench_schema.app = "_slo"; name; value; unit_; gated = false }
+        in
+        [
+          s ~name:"fleet_burn_rate" ~value:v.Flo_obs.Slo.burn_rate ~unit_:"x";
+          s ~name:"fleet_budget_remaining" ~value:v.Flo_obs.Slo.budget_remaining
+            ~unit_:"frac";
+          s ~name:"fleet_compliance" ~value:v.Flo_obs.Slo.compliance ~unit_:"frac";
+        ]
+    in
     [
       m ~name:"modeled_requests"
         ~value:(float_of_int result.Flo_traffic.Engine.total_requests)
@@ -710,6 +741,7 @@ let json_mode args =
       m ~name:"speedup_vs_loop" ~value:(modeled_rps /. Float.max 1e-9 loop_rps)
         ~unit_:"x";
     ]
+    @ slo_metrics
   in
   let manifest =
     { manifest with
@@ -726,6 +758,107 @@ let json_mode args =
     (List.length manifest.Bench_schema.metrics)
     (List.length manifest.Bench_schema.apps)
     Bench_schema.schema_name Bench_schema.schema_version
+
+(* ---- history: per-commit trend rows + static trend page ---------------------------------- *)
+
+(* `bench -- history --out FILE --commit ID --manifest MANIFEST [--page P]`
+   distills one bench manifest into trend points, upserts them as the row
+   for ID in the append-only history, and regenerates the self-contained
+   HTML/SVG trend page.  Re-running with the same commit and manifest is
+   idempotent: the row is replaced in place, so history and page bytes are
+   unchanged. *)
+let history_mode args =
+  let out = ref None and commit = ref None and manifest = ref None in
+  let page = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: v :: rest ->
+      out := Some v;
+      parse rest
+    | "--commit" :: v :: rest ->
+      commit := Some v;
+      parse rest
+    | "--manifest" :: v :: rest ->
+      manifest := Some v;
+      parse rest
+    | "--page" :: v :: rest ->
+      page := Some v;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf "bench history: unknown argument %S\n" arg;
+      exit 2
+  in
+  parse args;
+  let required name = function
+    | Some v -> v
+    | None ->
+      Printf.eprintf "bench history: %s is required\n" name;
+      exit 2
+  in
+  let out = required "--out FILE" !out in
+  let commit = required "--commit ID" !commit in
+  let manifest_path = required "--manifest MANIFEST" !manifest in
+  if not (Bench_history.valid_commit commit) then begin
+    Printf.eprintf
+      "bench history: bad --commit %S (want 1-64 chars of [A-Za-z0-9._-])\n"
+      commit;
+    exit 2
+  end;
+  let page =
+    match !page with
+    | Some p -> p
+    | None ->
+      (if Filename.check_suffix out ".json" then Filename.chop_suffix out ".json"
+       else out)
+      ^ ".html"
+  in
+  let manifest =
+    match Bench_schema.load manifest_path with
+    | Ok m -> m
+    | Error msg ->
+      Printf.eprintf "bench history: cannot load manifest: %s\n" msg;
+      exit 2
+  in
+  let points = Bench_history.metrics_of_manifest manifest in
+  if points = [] then begin
+    Printf.eprintf "bench history: manifest %s yields no trend points\n"
+      manifest_path;
+    exit 2
+  end;
+  let history =
+    if Sys.file_exists out then
+      match Bench_history.load out with
+      | Ok h -> h
+      | Error msg ->
+        Printf.eprintf "bench history: corrupt history: %s\n" msg;
+        exit 2
+    else Bench_history.empty
+  in
+  let history =
+    match Bench_history.upsert history ~commit points with
+    | Ok h -> h
+    | Error msg ->
+      Printf.eprintf "bench history: %s\n" msg;
+      exit 2
+  in
+  Bench_history.save out history;
+  (* page gets the same side-file + rename discipline as the history *)
+  let tmp = page ^ ".tmp" in
+  let oc = open_out tmp in
+  (match
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () -> output_string oc (Bench_history.render_page history))
+   with
+  | () -> ()
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Sys.rename tmp page;
+  Printf.printf "recorded commit %s (%d points) -> %s (%d rows), trend page %s\n"
+    commit (List.length points) out
+    (List.length history.Bench_history.rows)
+    page
 
 (* ---- driver ------------------------------------------------------------------------------ *)
 
@@ -744,6 +877,7 @@ let () =
   let requested = List.tl (Array.to_list Sys.argv) in
   match requested with
   | "json" :: rest -> json_mode rest
+  | "history" :: rest -> history_mode rest
   | _ ->
   let chosen =
     if requested = [] then sections

@@ -127,22 +127,36 @@ let print_metrics registry (result : Run.result) =
   (match Flo_obs.Metrics.find_histogram registry "request_latency_us" with
   | Some h -> Report.print_latency ~title:"request latency (modeled)" h
   | None -> ());
-  List.iter
-    (fun (name, labels, value) ->
-      match value with
-      | Flo_obs.Metrics.Histogram h
-        when String.length name > 5 && String.sub name 0 5 = "span." ->
-        ignore labels;
-        Printf.printf "%-28s %s\n" name (Report.latency_summary h)
-      | _ -> ())
-    (Flo_obs.Metrics.to_list registry)
+  (* span rows: gather first so the name column fits the widest span name
+     instead of truncating past a fixed 28 columns *)
+  let spans =
+    List.filter_map
+      (fun (name, _labels, value) ->
+        match value with
+        | Flo_obs.Metrics.Histogram h
+          when String.length name > 5 && String.sub name 0 5 = "span." ->
+          Some (name, Report.latency_summary h)
+        | _ -> None)
+      (Flo_obs.Metrics.to_list registry)
+  in
+  let width = List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 spans in
+  List.iter (fun (name, cell) -> Printf.printf "%-*s %s\n" width name cell) spans
 
 let apps_cmd =
   let doc = "List the 16-application evaluation suite." in
   let run () =
+    (* column widths from the rendered cells, not fixed field widths *)
+    let name_w =
+      List.fold_left (fun acc a -> max acc (String.length a.App.name)) 0 Suite.all
+    in
+    let group_w =
+      List.fold_left
+        (fun acc a -> max acc (String.length (App.group_to_string a.App.group)))
+        0 Suite.all
+    in
     List.iter
       (fun app ->
-        Printf.printf "%-10s [%-8s]%s %s\n" app.App.name
+        Printf.printf "%-*s [%-*s]%s %s\n" name_w app.App.name group_w
           (App.group_to_string app.App.group)
           (if app.App.master_slave then " master-slave" else "")
           app.App.description)
@@ -252,14 +266,24 @@ let bench_cmd =
     Printf.printf "%s: %d rep(s), modeled time %s ms (mean)\n\n" app.App.name reps
       (Report.ms (Report.mean elapsed));
     Option.iter (print_metrics registry) last;
+    let disk_rows =
+      List.filter_map
+        (fun (name, labels, value) ->
+          match value with
+          | Flo_obs.Metrics.Histogram h when name = "disk_service_us" ->
+            let node = try List.assoc "node" labels with Not_found -> "?" in
+            Some
+              (Printf.sprintf "disk_service_us{node=%s}" node,
+               Report.latency_summary h)
+          | _ -> None)
+        (Flo_obs.Metrics.to_list registry)
+    in
+    let width =
+      List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 disk_rows
+    in
     List.iter
-      (fun (name, labels, value) ->
-        match value with
-        | Flo_obs.Metrics.Histogram h when name = "disk_service_us" ->
-          let node = try List.assoc "node" labels with Not_found -> "?" in
-          Printf.printf "disk_service_us{node=%s}     %s\n" node (Report.latency_summary h)
-        | _ -> ())
-      (Flo_obs.Metrics.to_list registry)
+      (fun (label, cell) -> Printf.printf "%-*s %s\n" width label cell)
+      disk_rows
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(const run $ app_arg $ layout_arg $ caching_arg $ reps_arg $ readahead_arg
@@ -638,96 +662,116 @@ let chaos_cmd =
           $ scope_arg $ jobs_arg $ compute_nodes_arg $ io_nodes_arg
           $ storage_nodes_arg $ block_elems_arg)
 
-let traffic_cmd =
-  let doc =
-    "Drive an open-loop multi-tenant workload: tenants pick applications \
-     Zipfian-by-rank from $(i,APP-MIX), jobs arrive as seeded Poisson (or \
-     on/off bursty) processes, and each tenant runs the default or the \
-     compiler-optimized layouts.  The hierarchy is sharded by storage node \
-     and simulated on the worker-domain pool with batched service kernels, \
-     so hundreds of millions of modeled requests replay in seconds.  \
-     Everything except the $(b,[wall]) line is byte-identical for a given \
-     seed at every $(b,--jobs) value."
-  in
-  (* APP-MIX is parsed by hand (not Arg.conv) so an unknown app or malformed
-     spec exits 2 like every other flopt usage error, not cmdliner's 124 *)
-  let mix_pos =
-    Arg.(value & pos 0 string "suite"
+(* traffic/slo shared plumbing: both commands drive the same open-loop
+   engine, so they share every workload argument.  APP-MIX is parsed by
+   hand (not Arg.conv) so an unknown app or malformed spec exits 2 like
+   every other flopt usage error, not cmdliner's 124. *)
+module Traffic_args = struct
+  let mix_pos n =
+    Arg.(value & pos n string "suite"
          & info [] ~docv:"APP-MIX"
              ~doc:"Comma-separated application names in popularity order \
                    (head = most popular), or $(b,suite) for the whole \
                    16-application suite.")
-  in
-  let tenants_arg =
+
+  let tenants =
     Arg.(value & opt int 64 & info [ "tenants" ] ~docv:"N" ~doc:"Number of tenants.")
-  in
-  let seed_arg =
+
+  let seed =
     Arg.(value & opt int 42
          & info [ "seed" ] ~docv:"S"
              ~doc:"Master seed; every tenant draws from its own splitmix64 \
                    substream derived from it (replay-exact).")
-  in
-  let duration_arg =
+
+  let duration =
     Arg.(value & opt float 10.
          & info [ "duration" ] ~docv:"SECONDS" ~doc:"Modeled window per tenant.")
-  in
-  let rate_arg =
+
+  let rate =
     Arg.(value & opt float 2.
          & info [ "rate" ] ~docv:"JOBS/S" ~doc:"Mean job arrival rate per tenant.")
-  in
-  let zipf_arg =
+
+  let zipf =
     Arg.(value & opt float 1.1
          & info [ "zipf-s" ] ~docv:"S"
              ~doc:"Zipf exponent of app popularity over the mix (higher = \
                    more skew towards the head app).")
-  in
-  let opt_share_arg =
+
+  let opt_share =
     Arg.(value & opt float 0.5
          & info [ "opt-share" ] ~docv:"FRAC"
              ~doc:"Fraction of tenants given the compiler-optimized layouts.")
-  in
-  let noisy_arg =
+
+  let noisy =
     Arg.(value & opt float 1.
          & info [ "noisy" ] ~docv:"MULT"
              ~doc:"Arrival-rate multiplier for tenant 0 (the noisy neighbor); \
                    1 disables it.")
-  in
-  let burst_arg =
+
+  let burst =
     Arg.(value & opt (some (pair float float)) None
          & info [ "burst" ] ~docv:"ON,OFF"
              ~doc:"Use an on/off bursty arrival process with mean on/off \
                    sojourns of $(docv) modeled seconds (mean rate is \
                    preserved).  Default: plain Poisson.")
-  in
-  let sample_arg =
+
+  let sample =
     Arg.(value & opt int 8
          & info [ "sample" ] ~docv:"N"
              ~doc:"Profile-mode sampling factor for service-kernel compilation.")
-  in
-  let max_rows_arg =
+
+  let max_rows =
     Arg.(value & opt int 8
          & info [ "max-rows" ] ~docv:"N"
              ~doc:"Per-tenant table rows to print (top $(docv) by requests).")
-  in
-  let run mix_spec tenants seed duration rate zipf_s opt_share noisy burst sample
-      max_rows jobs =
-    let mix =
-      if mix_spec = "suite" then Suite.all
-      else
-        List.map
-          (fun name ->
-            match Suite.find (String.trim name) with
-            | app -> app
-            | exception Not_found ->
-              Printf.eprintf "flopt: traffic: unknown application %S (try `flopt apps')\n"
-                name;
-              exit 2)
-          (String.split_on_char ',' mix_spec)
-    in
+
+  let windows =
+    Arg.(value & opt int 1
+         & info [ "windows" ] ~docv:"N"
+             ~doc:"Split the modeled period into $(docv) SLO evaluation \
+                   windows; congestion is modeled per window.")
+
+  let faults =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Fault plan baked into the service kernels (same grammar \
+                   as $(b,flopt chaos)); retry latencies reach the modeled \
+                   clocks and failed reads burn the error budget.")
+
+  let fault_seed =
+    Arg.(value & opt int 42
+         & info [ "fault-seed" ] ~docv:"S" ~doc:"Seed for the $(b,--faults) plan.")
+
+  let parse_mix ~cmd mix_spec =
+    if mix_spec = "suite" then Suite.all
+    else
+      List.map
+        (fun name ->
+          match Suite.find (String.trim name) with
+          | app -> app
+          | exception Not_found ->
+            Printf.eprintf "flopt: %s: unknown application %S (try `flopt apps')\n"
+              cmd name;
+            exit 2)
+        (String.split_on_char ',' mix_spec)
+
+  let params ~cmd mix_spec tenants seed duration rate zipf_s opt_share noisy burst
+      sample windows faults_spec fault_seed =
+    let mix = parse_mix ~cmd mix_spec in
     let process =
       match burst with
       | None -> Flo_traffic.Arrivals.Poisson
       | Some (on_s, off_s) -> Flo_traffic.Arrivals.Bursty { on_s; off_s }
+    in
+    let faults =
+      match faults_spec with
+      | None -> Flo_faults.Fault_plan.empty
+      | Some spec -> (
+        match Flo_faults.Fault_plan.of_string spec with
+        | Ok p -> Flo_faults.Fault_plan.with_seed p fault_seed
+        | Error msg ->
+          Printf.eprintf "flopt: %s: bad --faults spec: %s\n" cmd msg;
+          exit 2)
     in
     let params =
       {
@@ -741,21 +785,237 @@ let traffic_cmd =
         noisy_boost = noisy;
         process;
         sample;
+        windows;
+        faults;
       }
     in
     (match Flo_traffic.Engine.validate params with
     | Ok () -> ()
     | Error msg ->
-      Printf.eprintf "flopt: traffic: %s\n" msg;
+      Printf.eprintf "flopt: %s: %s\n" cmd msg;
       exit 2);
+    params
+
+  let parse_slo ~cmd spec =
+    match Flo_obs.Slo.parse spec with
+    | Ok s -> s
+    | Error msg ->
+      Printf.eprintf "flopt: %s: bad SLO spec %S: %s\n" cmd spec msg;
+      exit 2
+end
+
+let traffic_cmd =
+  let doc =
+    "Drive an open-loop multi-tenant workload: tenants pick applications \
+     Zipfian-by-rank from $(i,APP-MIX), jobs arrive as seeded Poisson (or \
+     on/off bursty) processes, and each tenant runs the default or the \
+     compiler-optimized layouts.  The hierarchy is sharded by storage node \
+     and simulated on the worker-domain pool with batched service kernels, \
+     so hundreds of millions of modeled requests replay in seconds.  With \
+     $(b,--slo) the run is also scored against a service-level objective \
+     (burn rates, error budget, multi-window alerts).  Everything except \
+     the $(b,[wall]) line is byte-identical for a given seed at every \
+     $(b,--jobs) value."
+  in
+  let slo_arg =
+    Arg.(value & opt (some string) None
+         & info [ "slo" ] ~docv:"SPEC"
+             ~doc:"Score the run against an SLO, e.g. $(b,p99<800us\\@99.9) \
+                   (p99 latency under 800 us in 99.9% of windows) or \
+                   $(b,err<0.5%\\@99).  See $(b,flopt slo).")
+  in
+  let run mix_spec tenants seed duration rate zipf_s opt_share noisy burst sample
+      max_rows windows faults_spec fault_seed slo jobs =
+    let slo_spec = Option.map (Traffic_args.parse_slo ~cmd:"traffic") slo in
+    let params =
+      Traffic_args.params ~cmd:"traffic" mix_spec tenants seed duration rate zipf_s
+        opt_share noisy burst sample windows faults_spec fault_seed
+    in
     let jobs = resolve_jobs jobs in
     let result = Flo_traffic.Engine.simulate ~jobs ~config params in
-    Flo_traffic.Traffic_report.print ~max_rows result
+    Flo_traffic.Traffic_report.print ~max_rows result;
+    match slo_spec with
+    | None -> ()
+    | Some spec ->
+      let e = Flo_traffic.Slo_eval.evaluate spec result in
+      print_newline ();
+      Flo_traffic.Slo_report.print ~max_rows result e
   in
   Cmd.v (Cmd.info "traffic" ~doc)
-    Term.(const run $ mix_pos $ tenants_arg $ seed_arg $ duration_arg $ rate_arg
-          $ zipf_arg $ opt_share_arg $ noisy_arg $ burst_arg $ sample_arg
-          $ max_rows_arg $ jobs_arg)
+    Term.(const run $ Traffic_args.mix_pos 0 $ Traffic_args.tenants
+          $ Traffic_args.seed $ Traffic_args.duration $ Traffic_args.rate
+          $ Traffic_args.zipf $ Traffic_args.opt_share $ Traffic_args.noisy
+          $ Traffic_args.burst $ Traffic_args.sample $ Traffic_args.max_rows
+          $ Traffic_args.windows $ Traffic_args.faults $ Traffic_args.fault_seed
+          $ slo_arg $ jobs_arg)
+
+let slo_cmd =
+  let doc =
+    "Evaluate a service-level objective over the multi-tenant traffic \
+     engine: the modeled period is split into windows, each window is \
+     scored good or bad against the objective (latency threshold at a \
+     quantile, or error-rate ceiling), and burn rates, error-budget \
+     remaining, and fast/slow burn-rate alerts are reported per tenant, \
+     per layout cohort, and fleet-wide.  All clocks are modeled, so the \
+     report is byte-identical at every $(b,--jobs) value.  With \
+     $(b,--faults), failed reads burn the error budget and retry latency \
+     burns the latency budget."
+  in
+  let spec_pos =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"SPEC"
+             ~doc:"SLO spec: $(b,pQ<Nunit\\@T) (e.g. $(b,p99<800us\\@99.9): the \
+                   p99 latency stays under 800 us in 99.9% of windows; units \
+                   us/ms/s) or $(b,err<N%\\@T) (e.g. $(b,err<0.5%\\@99)).")
+  in
+  let run spec_str mix_spec tenants seed duration rate zipf_s opt_share noisy burst
+      sample max_rows windows faults_spec fault_seed jobs =
+    let spec = Traffic_args.parse_slo ~cmd:"slo" spec_str in
+    let params =
+      Traffic_args.params ~cmd:"slo" mix_spec tenants seed duration rate zipf_s
+        opt_share noisy burst sample windows faults_spec fault_seed
+    in
+    let jobs = resolve_jobs jobs in
+    let result = Flo_traffic.Engine.simulate ~jobs ~config params in
+    let e = Flo_traffic.Slo_eval.evaluate spec result in
+    Flo_traffic.Slo_report.print ~max_rows result e;
+    if not e.Flo_traffic.Slo_eval.fleet.Flo_traffic.Slo_eval.verdict
+             .Flo_obs.Slo.compliant
+    then exit 1
+  in
+  Cmd.v (Cmd.info "slo" ~doc)
+    Term.(const run $ spec_pos $ Traffic_args.mix_pos 1 $ Traffic_args.tenants
+          $ Traffic_args.seed $ Traffic_args.duration $ Traffic_args.rate
+          $ Traffic_args.zipf $ Traffic_args.opt_share $ Traffic_args.noisy
+          $ Traffic_args.burst $ Traffic_args.sample $ Traffic_args.max_rows
+          $ Traffic_args.windows $ Traffic_args.faults $ Traffic_args.fault_seed
+          $ jobs_arg)
+
+let drift_cmd =
+  let doc =
+    "Watch for layout drift: compare observation windows of a workload \
+     against the baseline the compiler-optimized layouts were built for \
+     (per-layer miss rates, cross-thread sharing and its matrix, \
+     model-vs-run fidelity) and recommend re-running the layout pass when \
+     the windowed score clears the hysteresis thresholds.  Without \
+     $(i,APP), sweeps the whole 16-application suite.  Exits 1 when \
+     re-layout is recommended anywhere."
+  in
+  let suite_app_arg =
+    Arg.(value & pos 0 (some app_conv) None
+         & info [] ~docv:"APP" ~doc:"Application name (omit to sweep the whole suite).")
+  in
+  let mapping_arg =
+    Arg.(value & opt int 0
+         & info [ "mapping" ] ~docv:"SEED"
+             ~doc:"Observe the workload under the pseudo-random \
+                   thread-to-node mapping of $(docv); 0 keeps the baseline \
+                   mapping.")
+  in
+  let shifted_arg =
+    Arg.(value & flag
+         & info [ "shifted" ]
+             ~doc:"Synthesize a phase-shifted workload: the observation \
+                   windows access data laid out row-major (the original \
+                   file layouts) instead of the layouts the pass optimized \
+                   for this phase — the access pattern the installed \
+                   layouts no longer match.")
+  in
+  let windows_arg =
+    Arg.(value & opt int 4
+         & info [ "windows" ] ~docv:"N"
+             ~doc:"Observation windows to fold through the detector.")
+  in
+  let sample_arg =
+    Arg.(value & opt int 1
+         & info [ "sample" ] ~docv:"N" ~doc:"Profile-mode sampling factor.")
+  in
+  let enter_arg =
+    Arg.(value & opt float Flo_fidelity.Drift.default_config.Flo_fidelity.Drift.enter
+         & info [ "enter" ] ~docv:"SCORE"
+             ~doc:"Score a window must reach to count towards recommending.")
+  in
+  let exit_arg =
+    Arg.(value & opt float Flo_fidelity.Drift.default_config.Flo_fidelity.Drift.exit_
+         & info [ "exit" ] ~docv:"SCORE"
+             ~doc:"Score a window must stay at or under to count towards \
+                   clearing.")
+  in
+  let streak_arg =
+    Arg.(value
+         & opt int
+             Flo_fidelity.Drift.default_config.Flo_fidelity.Drift.enter_streak
+         & info [ "streak" ] ~docv:"N"
+             ~doc:"Consecutive qualifying windows needed to flip the \
+                   recommendation (both directions).")
+  in
+  let run app mapping_seed shifted windows sample enter exit_ streak jobs =
+    if windows < 1 then begin
+      prerr_endline "flopt: drift: --windows must be positive";
+      exit 2
+    end;
+    if sample < 1 then begin
+      prerr_endline "flopt: drift: --sample must be positive";
+      exit 2
+    end;
+    if mapping_seed < 0 then begin
+      prerr_endline "flopt: drift: --mapping must be non-negative";
+      exit 2
+    end;
+    let dconfig =
+      {
+        Flo_fidelity.Drift.enter;
+        exit_;
+        enter_streak = streak;
+        exit_streak = streak;
+      }
+    in
+    (match Flo_fidelity.Drift.validate_config dconfig with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "flopt: drift: %s\n" msg;
+      exit 2);
+    let mapping =
+      if mapping_seed = 0 then None
+      else Some (Experiment.random_mapping ~seed:mapping_seed config)
+    in
+    let watch app =
+      let layouts = Experiment.inter_layouts config app in
+      let observed_layouts =
+        if shifted then Experiment.default_layouts app else layouts
+      in
+      let baseline = Experiment.drift_signal ~sample ~layouts config app in
+      let observed =
+        Experiment.drift_signal ?mapping ~sample ~layouts:observed_layouts config
+          app
+      in
+      let detector = Flo_fidelity.Drift.create ~config:dconfig ~baseline () in
+      (* every window of this run sees the same (deterministic) shifted
+         workload; the fold still exercises the streak hysteresis *)
+      let rec fold d n = if n = 0 then d else fold (Flo_fidelity.Drift.observe d observed) (n - 1) in
+      fold detector windows
+    in
+    let apps = match app with Some a -> [ a ] | None -> Suite.all in
+    let jobs = resolve_jobs jobs in
+    let detectors = Experiment.map_apps ~jobs watch apps in
+    let width =
+      List.fold_left (fun acc a -> max acc (String.length a.App.name)) 0 apps
+    in
+    List.iter2
+      (fun a d ->
+        Printf.printf "%-*s %s\n" width a.App.name
+          (Flo_fidelity.Drift.status_line d))
+      apps detectors;
+    let any = List.exists Flo_fidelity.Drift.recommended detectors in
+    print_endline
+      (Printf.sprintf "drift verdict apps=%d windows=%d mapping=%d shifted=%b: %s"
+         (List.length apps) windows mapping_seed shifted
+         (if any then "RE-LAYOUT RECOMMENDED" else "no drift"));
+    if any then exit 1
+  in
+  Cmd.v (Cmd.info "drift" ~doc)
+    Term.(const run $ suite_app_arg $ mapping_arg $ shifted_arg $ windows_arg
+          $ sample_arg $ enter_arg $ exit_arg $ streak_arg $ jobs_arg)
 
 let topology_cmd =
   let doc = "Print the default (scaled Table 1) system configuration." in
@@ -773,5 +1033,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ apps_cmd; plan_cmd; run_cmd; bench_cmd; analyze_cmd; bench_diff_cmd;
-            chaos_cmd; fidelity_cmd; layout_cmd; trace_cmd; traffic_cmd;
-            topology_cmd ]))
+            chaos_cmd; fidelity_cmd; drift_cmd; layout_cmd; trace_cmd;
+            traffic_cmd; slo_cmd; topology_cmd ]))

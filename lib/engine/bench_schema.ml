@@ -342,9 +342,10 @@ let of_json j =
   let* () = validate t in
   Ok t
 
-(* Atomic: write a side file and rename it onto [path] only after a
-   successful close, so an interrupted save (crash, ^C, full disk) can
-   never leave a truncated manifest where a baseline used to be. *)
+(* Atomic and durable: write a side file, fsync it, and rename it onto
+   [path] only after a successful close — an interrupted save (crash, ^C,
+   full disk, power loss) can never leave a truncated manifest where a
+   baseline used to be. *)
 let save path t =
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
@@ -353,7 +354,10 @@ let save path t =
        ~finally:(fun () -> close_out_noerr oc)
        (fun () ->
          output_string oc (Json.to_string (to_json t));
-         output_char oc '\n')
+         output_char oc '\n';
+         flush oc;
+         try Unix.fsync (Unix.descr_of_out_channel oc)
+         with Unix.Unix_error _ -> ())
    with
   | () -> ()
   | exception e ->

@@ -154,3 +154,53 @@ let fidelity ?tolerance ?mapping ?(sample = 1) ?predict_block_elems ~layouts con
       app.App.program
   in
   (Flo_fidelity.Fidelity.join ?tolerance ~predict ~observed:analyzer (), result)
+
+(* One observation window for the drift watch: the fidelity loop's run,
+   distilled into the plain-value signal Flo_fidelity.Drift folds.  The
+   sharing matrix is the element-wise sum over the storage-node caches
+   (threads are global indices, so cells never collide across nodes). *)
+let drift_signal ?mapping ?(sample = 1) ~layouts config app =
+  let analyzer = Flo_analysis.Analyzer.create () in
+  let result =
+    Run.run ?mapping ~sample ~sink:(Flo_analysis.Analyzer.sink analyzer) ~config
+      ~layouts app
+  in
+  let predict =
+    Flo_fidelity.Predict.compute
+      ~blocks_per_thread:config.Config.blocks_per_thread ~sample
+      ~block_elems:config.Config.topology.Topology.block_elems
+      ~threads:(Config.threads config) ~name:app.App.name ~layouts
+      app.App.program
+  in
+  let join = Flo_fidelity.Fidelity.join ~predict ~observed:analyzer () in
+  let add_matrix a b =
+    let dim m = Array.length m in
+    let n = max (dim a) (dim b) in
+    let cell m i j =
+      if i < dim m && j < Array.length m.(i) then m.(i).(j) else 0
+    in
+    Array.init n (fun i -> Array.init n (fun j -> cell a i j + cell b i j))
+  in
+  let sharing =
+    List.fold_left
+      (fun acc (cache : Flo_analysis.Analyzer.cache) ->
+        if cache.Flo_analysis.Analyzer.layer = Flo_obs.Event.L2 then
+          match Flo_analysis.Analyzer.sharing_of analyzer cache with
+          | Some s -> add_matrix acc (Flo_analysis.Sharing.shared s)
+          | None -> acc
+        else acc)
+      [||]
+      (Flo_analysis.Analyzer.caches analyzer)
+  in
+  let fidelity_rel =
+    let r = Flo_fidelity.Fidelity.max_rel_drift join in
+    (* a pair the model did not predict at all reads as total drift *)
+    if Float.is_finite r then r else 1.
+  in
+  {
+    Flo_fidelity.Drift.miss_l1 = Run.l1_miss_per_element result;
+    miss_l2 = Run.l2_miss_per_element result;
+    cross_shared = Flo_analysis.Analyzer.cross_shared_at analyzer Flo_obs.Event.L2;
+    sharing;
+    fidelity_rel;
+  }

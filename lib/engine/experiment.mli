@@ -108,3 +108,17 @@ val fidelity :
     [predict_block_elems] deliberately mis-parameterizes the model (e.g. to
     demonstrate nonzero flagged drift, or to ask "what if the compiler had
     assumed a different block size?"). *)
+
+val drift_signal :
+  ?mapping:int array ->
+  ?sample:int ->
+  layouts:(int -> File_layout.t) ->
+  Config.t ->
+  App.t ->
+  Flo_fidelity.Drift.signal
+(** One drift-watch observation window: the {!fidelity} loop distilled
+    into the plain-value signal {!Flo_fidelity.Drift} folds — per-layer
+    miss rates, L2 cross-thread sharing and its matrix (summed over the
+    storage-node caches), and the model-vs-run fidelity drift.
+    Deterministic for fixed arguments, so equal workloads always produce
+    equal signals. *)

@@ -54,8 +54,18 @@ let with_jsonl path f =
   (* close_out flushes; fall back to close_noerr so a full disk or a
      vanished file descriptor never masks the exception in flight *)
   let close () = try close_out oc with Sys_error _ -> close_out_noerr oc in
+  (* durability, not just atomicity: force the temp file's bytes to disk
+     before the rename publishes it, so a power loss right after the rename
+     cannot leave a zero-length file under the final name *)
+  let sync () =
+    try
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc)
+    with Sys_error _ | Unix.Unix_error _ -> ()
+  in
   match f (jsonl oc) with
   | v ->
+    sync ();
     close ();
     Sys.rename tmp path;
     v

@@ -27,6 +27,9 @@ type params = {
   noisy_boost : float;  (** arrival-rate multiplier for tenant 0; 1 = off *)
   process : Arrivals.process;
   sample : int;  (** profile-mode sampling for kernel compilation *)
+  windows : int;  (** SLO evaluation windows the modeled period splits into *)
+  faults : Flo_faults.Fault_plan.t;
+      (** fault plan baked into kernel compilation; empty = fault-free *)
 }
 
 let default_params ~mix =
@@ -41,6 +44,8 @@ let default_params ~mix =
     noisy_boost = 1.;
     process = Arrivals.Poisson;
     sample = 8;
+    windows = 1;
+    faults = Flo_faults.Fault_plan.empty;
   }
 
 let validate p =
@@ -56,6 +61,7 @@ let validate p =
   in
   let* () = if p.noisy_boost >= 1. then Ok () else Error "noisy boost must be >= 1" in
   let* () = if p.sample >= 1 then Ok () else Error "sample must be positive" in
+  let* () = if p.windows >= 1 then Ok () else Error "windows must be positive" in
   Arrivals.validate p.process
 
 (* per-tenant substream purposes; keep the stride if adding one *)
@@ -71,6 +77,7 @@ type tenant_stats = {
   jobs : int;
   requests : int;
   rank_jobs : int array;  (** jobs per mix rank *)
+  window_rank_jobs : int array array;  (** jobs per (window, mix rank) *)
   mean_us : float;
   p50_us : float;
   p99_us : float;
@@ -83,6 +90,9 @@ type shard_stats = {
   shard_requests : int;
   utilization : float;  (** summed service demand / modeled window *)
   multiplier : float;  (** congestion latency factor, [1 + utilization] *)
+  window_multipliers : float array;
+      (** per-window congestion factor, [1 + window utilization]; equals
+          [[| multiplier |]] when the period is a single window *)
 }
 
 type result = {
@@ -114,46 +124,64 @@ let compile_kernels ?jobs ~config p =
   in
   let compiled =
     Parallel.map ?jobs
-      (fun (app, mode) -> Kernel.compile ~sample:p.sample ~config ~mode app)
+      (fun (app, mode) ->
+        Kernel.compile ~sample:p.sample ~faults:p.faults ~config ~mode app)
       tasks
   in
   let n = Array.length ranked in
   Array.init n (fun r -> (compiled.(r), compiled.(n + r)))
 
-(* one tenant's phase-A summary: layout decision, per-rank job counts and
-   the service demand those jobs put on the tenant's home shard *)
+(* one tenant's phase-A summary: layout decision, per-(window, rank) job
+   counts and the service demand those jobs put on the tenant's home shard
+   in each window *)
 type tenant_plan = {
   pl_tenant : int;
   pl_optimized : bool;
-  pl_rank_jobs : int array;
-  pl_demand_us : float;
+  pl_window_jobs : int array array;  (** windows x ranks *)
+  pl_window_demand_us : float array;  (** per window *)
 }
+
+let plan_rank_jobs pl =
+  let ranks = if Array.length pl.pl_window_jobs = 0 then 0
+              else Array.length pl.pl_window_jobs.(0) in
+  let sums = Array.make ranks 0 in
+  Array.iter (Array.iteri (fun r j -> sums.(r) <- sums.(r) + j)) pl.pl_window_jobs;
+  sums
 
 let plan_tenant ~p ~zipf ~kernels tenant =
   let prng_layout = Flo_faults.Prng.for_stream ~seed:p.seed ~stream:(stream_layout tenant) in
   let optimized = Flo_faults.Prng.float prng_layout < p.opt_share in
   let rate = if tenant = 0 then p.rate *. p.noisy_boost else p.rate in
   let prng_arr = Flo_faults.Prng.for_stream ~seed:p.seed ~stream:(stream_arrivals tenant) in
-  let jobs =
-    Arrivals.count prng_arr ~process:p.process ~rate ~duration_s:p.duration_s
-  in
   let prng_apps = Flo_faults.Prng.for_stream ~seed:p.seed ~stream:(stream_apps tenant) in
-  let rank_jobs = Array.make (Array.length kernels) 0 in
-  for _ = 1 to jobs do
-    let r = Zipf.sample zipf prng_apps in
-    rank_jobs.(r) <- rank_jobs.(r) + 1
-  done;
-  let demand = ref 0. in
-  Array.iteri
-    (fun r j ->
-      if j > 0 then begin
-        let kd, ki = kernels.(r) in
-        let k = if optimized then ki else kd in
-        demand := !demand +. (float_of_int j *. k.Kernel.demand_us_per_job)
-      end)
-    rank_jobs;
-  { pl_tenant = tenant; pl_optimized = optimized; pl_rank_jobs = rank_jobs;
-    pl_demand_us = !demand }
+  let win_len = p.duration_s /. float_of_int p.windows in
+  let window_jobs = Array.make_matrix p.windows (Array.length kernels) 0 in
+  (* each arrival is bucketed into its window and draws its app rank on the
+     spot.  The arrivals and apps substreams are independent, so each
+     stream's draw sequence — and hence every count — is exactly what the
+     unwindowed two-pass (count, then sample per job) produced: windows = 1
+     replays byte-identically. *)
+  Arrivals.iter prng_arr ~process:p.process ~rate ~duration_s:p.duration_s (fun t ->
+      let w = min (p.windows - 1) (int_of_float (t /. win_len)) in
+      let r = Zipf.sample zipf prng_apps in
+      window_jobs.(w).(r) <- window_jobs.(w).(r) + 1);
+  let window_demand =
+    Array.map
+      (fun rank_jobs ->
+        let demand = ref 0. in
+        Array.iteri
+          (fun r j ->
+            if j > 0 then begin
+              let kd, ki = kernels.(r) in
+              let k = if optimized then ki else kd in
+              demand := !demand +. (float_of_int j *. k.Kernel.demand_us_per_job)
+            end)
+          rank_jobs;
+        !demand)
+      window_jobs
+  in
+  { pl_tenant = tenant; pl_optimized = optimized; pl_window_jobs = window_jobs;
+    pl_window_demand_us = window_demand }
 
 (* Traffic histograms use a much finer bucket resolution than the default
    run-level shape (gamma 1.05 ≈ 5% relative error instead of 60%): tenant
@@ -165,28 +193,33 @@ let hist_create () = Flo_obs.Histogram.create ~gamma:1.05 ~buckets:640 ()
 let hist_merge_list hists = List.fold_left Flo_obs.Histogram.merge (hist_create ()) hists
 
 (* Phase B: replay the tenant's jobs through the batched kernels into a
-   latency histogram, all requests of one (tenant, rank) apportioned across
-   the kernel's latency classes in one O(classes) sweep. *)
-let replay_tenant ~kernels ~multiplier plan =
+   latency histogram, all requests of one (tenant, window, rank)
+   apportioned across the kernel's latency classes in one O(classes)
+   sweep, under that window's congestion multiplier. *)
+let replay_tenant ~kernels ~multipliers plan =
   let hist = hist_create () in
   let requests = ref 0 in
   Array.iteri
-    (fun r j ->
-      if j > 0 then begin
-        let kd, ki = kernels.(r) in
-        let k = if plan.pl_optimized then ki else kd in
-        let n = j * k.Kernel.requests_per_job in
-        requests := !requests + n;
-        let counts = Kernel.apportion k ~requests:n in
-        Array.iteri
-          (fun i cnt ->
-            if cnt > 0 then
-              Flo_obs.Histogram.add_many hist
-                (k.Kernel.classes.(i).Kernel.latency_us *. multiplier)
-                cnt)
-          counts
-      end)
-    plan.pl_rank_jobs;
+    (fun w rank_jobs ->
+      let multiplier = multipliers.(w) in
+      Array.iteri
+        (fun r j ->
+          if j > 0 then begin
+            let kd, ki = kernels.(r) in
+            let k = if plan.pl_optimized then ki else kd in
+            let n = j * k.Kernel.requests_per_job in
+            requests := !requests + n;
+            let counts = Kernel.apportion k ~requests:n in
+            Array.iteri
+              (fun i cnt ->
+                if cnt > 0 then
+                  Flo_obs.Histogram.add_many hist
+                    (k.Kernel.classes.(i).Kernel.latency_us *. multiplier)
+                    cnt)
+              counts
+          end)
+        rank_jobs)
+    plan.pl_window_jobs;
   (hist, !requests)
 
 let jain xs =
@@ -219,21 +252,36 @@ let simulate ?jobs ?metrics ~config p =
             (List.init p.tenants Fun.id)
         in
         let plans = List.map (plan_tenant ~p ~zipf ~kernels) tenants in
-        let demand_us = List.fold_left (fun a pl -> a +. pl.pl_demand_us) 0. plans in
+        let win_len_us = p.duration_s /. float_of_int p.windows *. 1e6 in
+        (* congestion is per (shard, window): each window's multiplier is
+           1 + that window's summed demand over its length, so a burst
+           inflates only its own window's latencies.  With one window this
+           is exactly the old aggregate 1 + utilization. *)
+        let window_demand = Array.make p.windows 0. in
+        List.iter
+          (fun pl ->
+            Array.iteri
+              (fun w d -> window_demand.(w) <- window_demand.(w) +. d)
+              pl.pl_window_demand_us)
+          plans;
+        let multipliers = Array.map (fun d -> 1. +. (d /. win_len_us)) window_demand in
+        let demand_us = Array.fold_left ( +. ) 0. window_demand in
         let utilization = demand_us /. (p.duration_s *. 1e6) in
         let multiplier = 1. +. utilization in
         let per_tenant =
           List.map
             (fun pl ->
-              let hist, requests = replay_tenant ~kernels ~multiplier pl in
+              let hist, requests = replay_tenant ~kernels ~multipliers pl in
+              let rank_jobs = plan_rank_jobs pl in
               let stats =
                 {
                   tenant = pl.pl_tenant;
                   shard;
                   optimized = pl.pl_optimized;
-                  jobs = Array.fold_left ( + ) 0 pl.pl_rank_jobs;
+                  jobs = Array.fold_left ( + ) 0 rank_jobs;
                   requests;
-                  rank_jobs = pl.pl_rank_jobs;
+                  rank_jobs;
+                  window_rank_jobs = pl.pl_window_jobs;
                   mean_us = Flo_obs.Histogram.mean hist;
                   p50_us = Flo_obs.Histogram.percentile hist 0.5;
                   p99_us = Flo_obs.Histogram.percentile hist 0.99;
@@ -254,6 +302,7 @@ let simulate ?jobs ?metrics ~config p =
             shard_requests;
             utilization;
             multiplier;
+            window_multipliers = multipliers;
           },
           List.map fst per_tenant,
           shard_hist ))

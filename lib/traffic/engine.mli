@@ -25,11 +25,18 @@ type params = {
   noisy_boost : float;  (** arrival-rate multiplier for tenant 0; 1 = off *)
   process : Arrivals.process;
   sample : int;  (** profile-mode sampling for kernel compilation *)
+  windows : int;  (** SLO evaluation windows the modeled period splits into *)
+  faults : Flo_faults.Fault_plan.t;
+      (** fault plan baked into kernel compilation: retry/backoff latencies
+          reach the latency classes and failed reads are counted per job
+          ({!Kernel.t.errors_per_job}); the empty plan is byte-identical to
+          a fault-free run *)
 }
 
 val default_params : mix:App.t list -> params
 (** 64 tenants, seed 42, 10 modeled seconds at 2 jobs/s, zipf-s 1.1,
-    opt-share 0.5, no noisy tenant, Poisson arrivals, sample 8. *)
+    opt-share 0.5, no noisy tenant, Poisson arrivals, sample 8, a single
+    window, no faults. *)
 
 val validate : params -> (unit, string) result
 
@@ -40,6 +47,9 @@ type tenant_stats = {
   jobs : int;
   requests : int;
   rank_jobs : int array;  (** jobs per mix rank *)
+  window_rank_jobs : int array array;
+      (** jobs per (window, mix rank); {!Slo_eval} turns these into
+          per-window SLO samples without re-simulating *)
   mean_us : float;
   p50_us : float;
   p99_us : float;
@@ -52,6 +62,9 @@ type shard_stats = {
   shard_requests : int;
   utilization : float;  (** summed service demand / modeled window *)
   multiplier : float;  (** congestion latency factor, [1 + utilization] *)
+  window_multipliers : float array;
+      (** per-window congestion factor, [1 + window utilization]; equals
+          [[| multiplier |]] when the period is a single window *)
 }
 
 type result = {

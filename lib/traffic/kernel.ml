@@ -21,8 +21,10 @@ type t = {
   app : string;
   mode : mode;
   requests_per_job : int;  (** block requests one run of the app issues *)
+  accesses_per_job : int;  (** element accesses; layout-invariant per app *)
   demand_us_per_job : float;  (** summed per-request modeled service time *)
   elapsed_us_per_job : float;  (** modeled makespan of one run *)
+  errors_per_job : int;  (** failed disk-read attempts one run suffers *)
   classes : cls array;  (** per-request latency distribution; weights sum to 1 *)
 }
 
@@ -46,14 +48,31 @@ let classes_of_histogram h =
     Array.of_list (List.rev !acc)
   end
 
-let compile ?(sample = 1) ~config ~mode app =
+let compile ?(sample = 1) ?(faults = Flo_faults.Fault_plan.empty) ~config ~mode app =
   let layouts =
     match mode with
     | Default -> Experiment.default_layouts app
     | Inter -> Experiment.inter_layouts config app
   in
   let registry = Flo_obs.Metrics.create () in
-  let r = Run.run ~sample ~metrics:registry ~config ~layouts app in
+  (* a fresh injector per compilation: its per-node PRNG substreams are a
+     pure function of the plan's seed, so kernels stay deterministic no
+     matter how many are compiled or in which order.  An empty plan skips
+     the hook entirely — byte-identical to the fault-free path. *)
+  let injector =
+    if Flo_faults.Fault_plan.is_empty faults then None
+    else
+      Some
+        (Flo_faults.Injector.create
+           ~storage_nodes:config.Config.topology.Flo_storage.Topology.storage_nodes
+           faults)
+  in
+  let r = Run.run ?faults:injector ~sample ~metrics:registry ~config ~layouts app in
+  let errors_per_job =
+    match injector with
+    | None -> 0
+    | Some inj -> (Flo_faults.Injector.counts inj).Flo_faults.Injector.faults
+  in
   let h = Flo_obs.Metrics.find_histogram registry "request_latency_us" in
   let classes = match h with Some h -> classes_of_histogram h | None -> [||] in
   let demand_us_per_job = match h with Some h -> Flo_obs.Histogram.sum h | None -> 0. in
@@ -61,8 +80,10 @@ let compile ?(sample = 1) ~config ~mode app =
     app = app.App.name;
     mode;
     requests_per_job = r.Run.block_requests;
+    accesses_per_job = r.Run.element_accesses;
     demand_us_per_job;
     elapsed_us_per_job = r.Run.elapsed_us;
+    errors_per_job;
     classes;
   }
 

@@ -16,17 +16,29 @@ type t = {
   app : string;
   mode : mode;
   requests_per_job : int;  (** block requests one execution of the app issues *)
+  accesses_per_job : int;
+      (** element accesses one execution performs — a pure function of the
+          app, identical under every layout, so it is the layout-fair
+          denominator for error rates *)
   demand_us_per_job : float;  (** summed per-request modeled service time *)
   elapsed_us_per_job : float;  (** modeled makespan of one execution *)
+  errors_per_job : int;
+      (** failed disk-read attempts one execution suffers under the
+          compilation's fault plan; 0 without one *)
   classes : cls array;
       (** per-request latency distribution (weights sum to 1); empty only
           when the run issued no block requests *)
 }
 
 val compile :
-  ?sample:int -> config:Flo_engine.Config.t -> mode:mode -> Flo_workloads.App.t -> t
+  ?sample:int -> ?faults:Flo_faults.Fault_plan.t ->
+  config:Flo_engine.Config.t -> mode:mode -> Flo_workloads.App.t -> t
 (** One metrics-attached [Run.run] under the chosen layouts; [sample]
-    forwards the simulator's profile-mode sampling factor. *)
+    forwards the simulator's profile-mode sampling factor.  A non-empty
+    [faults] plan compiles a fresh seeded injector for the run: retry and
+    backoff latencies land in the latency classes (they are charged to the
+    modeled clocks) and the failed-read count lands in [errors_per_job] —
+    an empty plan is byte-identical to compiling without one. *)
 
 val apportion : t -> requests:int -> int array
 (** Split [requests] across [classes] by largest remainder: deterministic,

@@ -1,0 +1,126 @@
+(* SLO evaluation over Engine.result: derive per-window {total; breaching}
+   counts from the engine's per-(tenant, window, rank) job ledger and the
+   compiled kernels, then hand them to Flo_obs.Slo.  Nothing here touches a
+   clock or a PRNG — the verdicts inherit the engine's replay-exactness. *)
+
+module Slo = Flo_obs.Slo
+
+type scope =
+  | Tenant of int
+  | Cohort of bool
+  | Fleet
+
+let scope_to_string = function
+  | Tenant t -> Printf.sprintf "tenant %d" t
+  | Cohort true -> "cohort optimized"
+  | Cohort false -> "cohort default"
+  | Fleet -> "fleet"
+
+type row = { scope : scope; verdict : Slo.verdict }
+
+type t = {
+  spec : Slo.spec;
+  windows : int;
+  tenant_rows : row array;
+  cohort_rows : row list;
+  fleet : row;
+}
+
+(* requests of kernel [k] in one window that violate a latency threshold
+   under congestion [multiplier]: the apportioned per-class counts are
+   exactly what the replay added to the histograms, so the SLO sees the
+   same distribution the percentiles came from *)
+let breaching_of_kernel (k : Kernel.t) ~jobs ~multiplier ~threshold_us =
+  let requests = jobs * k.Kernel.requests_per_job in
+  if requests = 0 then 0
+  else begin
+    let counts = Kernel.apportion k ~requests in
+    let breaching = ref 0 in
+    Array.iteri
+      (fun i cnt ->
+        if cnt > 0 && k.Kernel.classes.(i).Kernel.latency_us *. multiplier > threshold_us
+        then breaching := !breaching + cnt)
+      counts;
+    !breaching
+  end
+
+let samples_of_tenant spec (r : Engine.result) tenant =
+  let s = r.Engine.tenants_stats.(tenant) in
+  let shard = r.Engine.shards.(s.Engine.shard) in
+  let kernels = r.Engine.kernels in
+  Array.mapi
+    (fun w rank_jobs ->
+      let multiplier = shard.Engine.window_multipliers.(w) in
+      let total = ref 0 in
+      let breaching = ref 0 in
+      Array.iteri
+        (fun rank jobs ->
+          if jobs > 0 then begin
+            let kd, ki = kernels.(rank) in
+            let k = if s.Engine.optimized then ki else kd in
+            match spec.Slo.objective with
+            | Slo.Latency { threshold_us; _ } ->
+              total := !total + (jobs * k.Kernel.requests_per_job);
+              breaching :=
+                !breaching + breaching_of_kernel k ~jobs ~multiplier ~threshold_us
+            | Slo.Error_rate _ ->
+              (* error rate is per element access — the layout-invariant
+                 request count — so a layout that avoids disk reads avoids
+                 their failures too.  A retried request can fail more than
+                 once, so cap at the access count below. *)
+              total := !total + (jobs * k.Kernel.accesses_per_job);
+              breaching := !breaching + (jobs * k.Kernel.errors_per_job)
+          end)
+        rank_jobs;
+      { Slo.total = !total; breaching = min !breaching !total })
+    s.Engine.window_rank_jobs
+
+let sum_samples windows per_tenant =
+  let acc = Array.make windows { Slo.total = 0; breaching = 0 } in
+  List.iter
+    (Array.iteri (fun w (s : Slo.sample) ->
+         acc.(w) <-
+           { Slo.total = acc.(w).Slo.total + s.Slo.total;
+             breaching = acc.(w).Slo.breaching + s.Slo.breaching }))
+    per_tenant;
+  acc
+
+let evaluate ?fast_span ?slow_span ?metrics spec (r : Engine.result) =
+  let windows = r.Engine.params.Engine.windows in
+  let n = Array.length r.Engine.tenants_stats in
+  let per_tenant = Array.init n (samples_of_tenant spec r) in
+  let eval scope samples =
+    { scope; verdict = Slo.evaluate ?fast_span ?slow_span spec samples }
+  in
+  let tenant_rows = Array.mapi (fun t s -> eval (Tenant t) s) per_tenant in
+  let cohort optimized =
+    let members =
+      List.filter
+        (fun t -> r.Engine.tenants_stats.(t).Engine.optimized = optimized)
+        (List.init n Fun.id)
+    in
+    if members = [] then None
+    else
+      Some
+        (eval (Cohort optimized)
+           (sum_samples windows (List.map (fun t -> per_tenant.(t)) members)))
+  in
+  let cohort_rows = List.filter_map cohort [ false; true ] in
+  let fleet = eval Fleet (sum_samples windows (Array.to_list per_tenant)) in
+  (match metrics with
+  | None -> ()
+  | Some registry ->
+    let publish row =
+      let labels =
+        match row.scope with
+        | Tenant t -> [ ("scope", "tenant"); ("tenant", string_of_int t) ]
+        | Cohort o ->
+          [ ("scope", "cohort"); ("cohort", if o then "optimized" else "default") ]
+        | Fleet -> [ ("scope", "fleet") ]
+      in
+      Slo.record row.verdict ~labels registry
+    in
+    Array.iter publish tenant_rows;
+    List.iter publish cohort_rows;
+    publish fleet);
+  { spec; windows; tenant_rows; cohort_rows; fleet }

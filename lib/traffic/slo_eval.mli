@@ -1,0 +1,41 @@
+(** SLO evaluation over traffic-engine results.
+
+    Turns one {!Engine.result} into per-window {!Flo_obs.Slo.sample} counts
+    — per tenant, per layout cohort, and fleet-wide — and scores them
+    against a spec with the multi-window / multi-burn-rate machinery.  All
+    inputs are modeled quantities, so verdicts are byte-identical at every
+    [--jobs] value and on every machine. *)
+
+type scope =
+  | Tenant of int
+  | Cohort of bool  (** [true] = the optimized-layout cohort *)
+  | Fleet
+
+val scope_to_string : scope -> string
+(** ["tenant 3"], ["cohort default"], ["cohort optimized"], ["fleet"]. *)
+
+type row = { scope : scope; verdict : Flo_obs.Slo.verdict }
+
+type t = {
+  spec : Flo_obs.Slo.spec;
+  windows : int;
+  tenant_rows : row array;  (** indexed by tenant id *)
+  cohort_rows : row list;  (** default first, then optimized; empty cohorts skipped *)
+  fleet : row;
+}
+
+val samples_of_tenant : Flo_obs.Slo.spec -> Engine.result -> int -> Flo_obs.Slo.sample array
+(** One sample per window for one tenant, derived from its per-(window,
+    rank) job counts, the compiled kernels, and its shard's per-window
+    congestion multipliers.  For a latency objective, a request breaches
+    when its class latency times the window's multiplier exceeds the
+    threshold (the same apportioned counts the replay histograms use); for
+    an error objective, breaches are the kernel's failed-read attempts per
+    job, capped at the window's request count. *)
+
+val evaluate :
+  ?fast_span:int -> ?slow_span:int -> ?metrics:Flo_obs.Metrics.t ->
+  Flo_obs.Slo.spec -> Engine.result -> t
+(** Score every tenant, both layout cohorts, and the fleet.  With
+    [metrics], burn-rate and budget gauges plus page/ticket counters are
+    published per scope (labels [scope]/[tenant]/[cohort]). *)

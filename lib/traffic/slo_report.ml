@@ -1,0 +1,92 @@
+open Flo_engine
+module Slo = Flo_obs.Slo
+
+(* Deterministic rendering of Slo_eval results: no wall-clock, no
+   machine-dependent fields, so whole reports diff clean across --jobs. *)
+
+let fx v =
+  if v = infinity then "inf"
+  else if v = neg_infinity then "-inf"
+  else Printf.sprintf "%.2f" v
+
+let pct v =
+  if v = infinity then "inf" else Printf.sprintf "%.1f%%" (100. *. v)
+
+let verdict_cells scope (v : Slo.verdict) =
+  [
+    scope;
+    Printf.sprintf "%d/%d" v.Slo.bad_windows v.Slo.windows;
+    pct v.Slo.compliance;
+    fx v.Slo.burn_rate;
+    pct v.Slo.budget_remaining;
+    string_of_int v.Slo.fast_pages;
+    string_of_int v.Slo.slow_tickets;
+    (if v.Slo.compliant then "ok" else "VIOLATED");
+  ]
+
+let header =
+  [ "scope"; "bad win"; "compliance"; "burn"; "budget left"; "pages"; "tickets";
+    "verdict" ]
+
+let worst_tenants ?(max_rows = 8) (e : Slo_eval.t) =
+  let rows = Array.to_list e.Slo_eval.tenant_rows in
+  let key (r : Slo_eval.row) =
+    (* order by burn rate descending, ties by tenant id ascending *)
+    match r.Slo_eval.scope with
+    | Slo_eval.Tenant t -> (-.r.Slo_eval.verdict.Slo.burn_rate, t)
+    | _ -> (0., 0)
+  in
+  let sorted = List.sort (fun a b -> compare (key a) (key b)) rows in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take (max 0 max_rows) sorted
+
+let summary ?max_rows (r : Engine.result) (e : Slo_eval.t) =
+  let p = r.Engine.params in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "slo: spec=%s mix=%s tenants=%d seed=%d windows=%d window=%.3gs faults=%s\n\n"
+       (Slo.to_string e.Slo_eval.spec)
+       (Traffic_report.mix_names p) p.Engine.tenants p.Engine.seed
+       p.Engine.windows
+       (p.Engine.duration_s /. float_of_int p.Engine.windows)
+       (if Flo_faults.Fault_plan.is_empty p.Engine.faults then "none"
+        else Flo_faults.Fault_plan.to_string p.Engine.faults));
+  Buffer.add_string b "== per-tenant error budget (worst tenants by burn rate) ==\n";
+  Buffer.add_string b
+    (Report.table ~header
+       (List.map
+          (fun (row : Slo_eval.row) ->
+            verdict_cells (Slo_eval.scope_to_string row.Slo_eval.scope)
+              row.Slo_eval.verdict)
+          (worst_tenants ?max_rows e)));
+  Buffer.add_string b "\n\n== cohorts and fleet ==\n";
+  Buffer.add_string b
+    (Report.table ~header
+       (List.map
+          (fun (row : Slo_eval.row) ->
+            verdict_cells (Slo_eval.scope_to_string row.Slo_eval.scope)
+              row.Slo_eval.verdict)
+          (e.Slo_eval.cohort_rows @ [ e.Slo_eval.fleet ])));
+  Buffer.add_string b "\n";
+  Buffer.contents b
+
+let verdict_line (r : Engine.result) (e : Slo_eval.t) =
+  let p = r.Engine.params in
+  let v = e.Slo_eval.fleet.Slo_eval.verdict in
+  Printf.sprintf
+    "slo %s mix=%s tenants=%d seed=%d windows=%d: fleet burn=%s budget_left=%s \
+     compliance=%s pages=%d tickets=%d %s"
+    (Slo.to_string e.Slo_eval.spec)
+    (Traffic_report.mix_names p) p.Engine.tenants p.Engine.seed p.Engine.windows
+    (fx v.Slo.burn_rate) (pct v.Slo.budget_remaining) (pct v.Slo.compliance)
+    v.Slo.fast_pages v.Slo.slow_tickets
+    (if v.Slo.compliant then "OK" else "VIOLATED")
+
+let print ?max_rows r e =
+  print_string (summary ?max_rows r e);
+  print_endline (verdict_line r e)

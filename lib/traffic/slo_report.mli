@@ -1,0 +1,14 @@
+(** Rendering for SLO evaluations.  Every line is a pure function of the
+    modeled verdicts, so reports are byte-identical at every [--jobs]
+    value — CI pins {!verdict_line}. *)
+
+val summary : ?max_rows:int -> Engine.result -> Slo_eval.t -> string
+(** Header, the worst [max_rows] tenants (by burn rate, default 8), both
+    layout cohorts, and the fleet row. *)
+
+val verdict_line : Engine.result -> Slo_eval.t -> string
+(** One line: spec, mix, fleet burn rate, budget remaining, compliance,
+    alert counts, and OK/VIOLATED. *)
+
+val print : ?max_rows:int -> Engine.result -> Slo_eval.t -> unit
+(** {!summary} then {!verdict_line} to stdout. *)

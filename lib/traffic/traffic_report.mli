@@ -7,6 +7,9 @@
     tenants, a single tenant, a single-app mix, tenants with no arrivals —
     and produce a well-formed (possibly empty-bodied) table. *)
 
+val mix_names : Engine.params -> string
+(** Comma-joined application names of the mix, in popularity order. *)
+
 val summary : ?max_rows:int -> Engine.result -> string
 (** Header, per-tenant table (top [max_rows], default 8, by request
     count), per-shard table, and the aggregate/fairness lines. *)

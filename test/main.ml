@@ -4,6 +4,7 @@ let () =
       ("linalg", Test_linalg.suite);
       ("poly", Test_poly.suite);
       ("obs", Test_obs.suite);
+      ("slo", Test_slo.suite);
       ("analysis", Test_analysis.suite);
       ("storage", Test_storage.suite);
       ("core", Test_core.suite);

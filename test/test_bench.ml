@@ -264,6 +264,170 @@ let prop_self_diff_never_regresses =
       let d = B.diff ~old_:m ~new_:m in
       B.regressions d = [] && B.improvements d = [])
 
+(* -- bench history --------------------------------------------------------- *)
+
+module H = Bench_history
+
+let pt name value = { H.name; value; unit_ = "x" }
+
+let history_of rows =
+  List.fold_left
+    (fun h (commit, points) ->
+      match H.upsert h ~commit points with
+      | Ok h -> h
+      | Error e -> Alcotest.failf "upsert %s: %s" commit e)
+    H.empty rows
+
+let test_history_valid_commit () =
+  List.iter
+    (fun c -> checkb c true (H.valid_commit c))
+    [ "a"; "abc123"; "v1.2.3-rc1"; "deadbeef"; String.make 64 'f' ];
+  List.iter
+    (fun c -> checkb (String.escaped c) false (H.valid_commit c))
+    [ ""; "a b"; "a/b"; "a\nb"; "\x00"; String.make 65 'f'; "caf\xc3\xa9" ]
+
+let test_history_upsert_appends_and_replaces () =
+  let h = history_of [ ("c1", [ pt "m" 1. ]); ("c2", [ pt "m" 2. ]) ] in
+  check_int "two rows" 2 (List.length h.H.rows);
+  (* re-recording c1 replaces in place: order stays c1, c2 *)
+  let h' = history_of [ ("c1", [ pt "m" 9. ]); ("c2", [ pt "m" 2. ]) ] in
+  let h'' =
+    match H.upsert h ~commit:"c1" [ pt "m" 9. ] with
+    | Ok h -> h
+    | Error e -> Alcotest.failf "re-upsert: %s" e
+  in
+  checkb "replace preserves position" true (h' = h'');
+  check_str "first row still c1" "c1" (List.hd h''.H.rows).H.commit
+
+let test_history_upsert_rejects () =
+  List.iter
+    (fun (label, commit, points) ->
+      match H.upsert H.empty ~commit points with
+      | Error e -> checkb (label ^ " has message") true (String.length e > 0)
+      | Ok _ -> Alcotest.failf "%s accepted" label)
+    [
+      ("bad commit", "a b", [ pt "m" 1. ]);
+      ("empty points", "c1", []);
+      ("duplicate point name", "c1", [ pt "m" 1.; pt "m" 2. ]);
+      ("nan value", "c1", [ pt "m" Float.nan ]);
+      ("infinite value", "c1", [ pt "m" Float.infinity ]);
+    ]
+
+let test_history_idempotent_roundtrip () =
+  (* same inputs -> byte-equal file, and re-recording a commit from the
+     same points leaves the saved history byte-identical *)
+  let h =
+    history_of
+      [
+        ("c1", [ pt "rps" 100.; pt "wall" 2. ]);
+        ("c2", [ pt "rps" 120.; pt "wall" 1.9 ]);
+      ]
+  in
+  let path = Filename.temp_file "flopt_hist" ".json" in
+  H.save path h;
+  let read_all p =
+    let ic = open_in_bin p in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let first = read_all path in
+  (match H.upsert h ~commit:"c2" [ pt "rps" 120.; pt "wall" 1.9 ] with
+  | Ok h' -> H.save path h'
+  | Error e -> Alcotest.failf "re-record: %s" e);
+  check_str "idempotent re-record" first (read_all path);
+  (match H.load path with
+  | Ok h' -> checkb "load inverts save" true (h = h')
+  | Error e -> Alcotest.failf "load: %s" e);
+  Sys.remove path
+
+let test_history_series_has_gaps () =
+  let h =
+    history_of
+      [
+        ("c1", [ pt "rps" 1. ]);
+        ("c2", [ pt "wall" 2. ]);
+        ("c3", [ pt "rps" 3. ]);
+      ]
+  in
+  checkb "gap row skipped, not zeroed" true
+    (H.series h "rps" = [ ("c1", 1.); ("c3", 3.) ]);
+  checkb "absent series empty" true (H.series h "nope" = [])
+
+let test_history_parse_rejects_corrupt () =
+  List.iter
+    (fun (label, s) ->
+      match H.parse_string s with
+      | Error e -> checkb (label ^ " has message") true (String.length e > 0)
+      | Ok _ -> Alcotest.failf "%s accepted" label)
+    [
+      ("garbage", "{ not json");
+      ("wrong schema", "{\"schema\":\"flopt-bench\",\"version\":1,\"rows\":[]}");
+      ( "future version",
+        "{\"schema\":\"flopt-bench-history\",\"version\":99,\"rows\":[]}" );
+      ( "bad commit id",
+        "{\"schema\":\"flopt-bench-history\",\"version\":1,\"rows\":[{\"commit\":\"a b\",\"points\":[{\"name\":\"m\",\"value\":1,\"unit\":\"x\"}]}]}"
+      );
+      ( "duplicate commit",
+        "{\"schema\":\"flopt-bench-history\",\"version\":1,\"rows\":[{\"commit\":\"c\",\"points\":[{\"name\":\"m\",\"value\":1,\"unit\":\"x\"}]},{\"commit\":\"c\",\"points\":[{\"name\":\"m\",\"value\":2,\"unit\":\"x\"}]}]}"
+      );
+    ]
+
+let test_history_metrics_of_manifest () =
+  let m =
+    manifest
+      [
+        { B.app = "a"; name = "tracegen_elems_per_sec.inter"; value = 100.;
+          unit_ = "elem/s"; gated = false };
+        { B.app = "b"; name = "tracegen_elems_per_sec.inter"; value = 400.;
+          unit_ = "elem/s"; gated = false };
+        { B.app = "_suite"; name = "suite_wall_s.seq"; value = 3.5;
+          unit_ = "s"; gated = false };
+        { B.app = "_traffic"; name = "modeled_rps"; value = 1234.;
+          unit_ = "req/s"; gated = false };
+        { B.app = "_slo"; name = "fleet_burn_rate"; value = 0.25;
+          unit_ = "x"; gated = false };
+      ]
+  in
+  let points = H.metrics_of_manifest m in
+  let value name =
+    match List.find_opt (fun p -> p.H.name = name) points with
+    | Some p -> p.H.value
+    | None -> Alcotest.failf "missing point %s" name
+  in
+  (* geomean of 100 and 400 is 200 *)
+  checkb "tracegen geomean" true
+    (Float.abs (value "tracegen_elems_per_sec" -. 200.) < 1e-6);
+  checkb "suite wall" true (value "suite_wall_s" = 3.5);
+  checkb "modeled rps" true (value "modeled_rps" = 1234.);
+  checkb "slo burn" true (value "slo_burn_rate" = 0.25);
+  (* a manifest without _slo simply yields no burn point *)
+  let bare = manifest [ metric "a" "elapsed_us.inter" 1. ] in
+  checkb "missing series absent, not zero" true
+    (H.metrics_of_manifest bare = [])
+
+let test_history_page_deterministic () =
+  let h =
+    history_of
+      [
+        ("c1", [ pt "modeled_rps" 100.; pt "suite_wall_s" 2. ]);
+        ("c2", [ pt "modeled_rps" 140.; pt "suite_wall_s" 1.8 ]);
+        ("c3", [ pt "modeled_rps" 130. ]);
+      ]
+  in
+  let page = H.render_page h in
+  check_str "byte-equal on re-render" page (H.render_page h);
+  let contains needle =
+    let n = String.length needle and l = String.length page in
+    let rec go i = i + n <= l && (String.sub page i n = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "no javascript" false (contains "<script");
+  checkb "inline svg" true (contains "<svg");
+  checkb "commits appear" true (contains "c1" && contains "c3");
+  checkb "table view present" true (contains "<table");
+  checkb "dark mode selected" true (contains "prefers-color-scheme")
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -288,5 +452,13 @@ let suite =
     ("ungated metrics never gate", `Quick, test_ungated_never_gates);
     ("zero-baseline special case", `Quick, test_zero_baseline_special_case);
     ("added/removed metrics", `Quick, test_added_removed);
+    ("history commit-id validation", `Quick, test_history_valid_commit);
+    ("history upsert appends/replaces", `Quick, test_history_upsert_appends_and_replaces);
+    ("history upsert rejects bad rows", `Quick, test_history_upsert_rejects);
+    ("history record is idempotent", `Quick, test_history_idempotent_roundtrip);
+    ("history series keeps gaps", `Quick, test_history_series_has_gaps);
+    ("history rejects corrupt files", `Quick, test_history_parse_rejects_corrupt);
+    ("history distills manifests", `Quick, test_history_metrics_of_manifest);
+    ("history page is deterministic", `Quick, test_history_page_deterministic);
   ]
   @ qsuite

@@ -171,6 +171,138 @@ let prop_flagged_monotone =
       in
       List.for_all (fun r -> List.memq r (flagged lo)) (flagged hi))
 
+(* -- layout drift watch ---------------------------------------------------- *)
+
+module D = Flo_fidelity.Drift
+
+let base_signal =
+  {
+    D.miss_l1 = 0.05;
+    miss_l2 = 0.02;
+    cross_shared = 4;
+    sharing = [| [| 0; 2 |]; [| 2; 0 |] |];
+    fidelity_rel = 0.;
+  }
+
+let shifted_signal =
+  { base_signal with D.miss_l1 = 0.2; miss_l2 = 0.09; cross_shared = 11 }
+
+let observe_n d s n =
+  let r = ref d in
+  for _ = 1 to n do
+    r := D.observe !r s
+  done;
+  !r
+
+let test_drift_quiet_on_identical () =
+  let d = observe_n (D.create ~baseline:base_signal ()) base_signal 6 in
+  Alcotest.(check int) "windows" 6 (D.windows_seen d);
+  checkb "no recommendation" false (D.recommended d);
+  checkb "no reasons" true (D.reasons d = []);
+  Alcotest.(check (float 0.)) "score zero" 0. (D.last_score d);
+  checkb "status says no" true
+    (let s = D.status_line d in
+     String.length s > 0
+     &&
+     let rec contains i =
+       i + 12 <= String.length s
+       && (String.sub s i 12 = "recommend=no" || contains (i + 1))
+     in
+     contains 0)
+
+let test_drift_flags_after_streak () =
+  let d0 = D.create ~baseline:base_signal () in
+  let score, reasons = D.score d0 shifted_signal in
+  checkb "window scores above enter" true (score >= D.default_config.D.enter);
+  checkb "reasons name components" true (reasons <> []);
+  let d1 = D.observe d0 shifted_signal in
+  checkb "one high window is not enough" false (D.recommended d1);
+  let d2 = D.observe d1 shifted_signal in
+  checkb "streak of 2 raises" true (D.recommended d2);
+  checkb "reasons attached on flip" true (D.reasons d2 <> [])
+
+let test_drift_hysteresis () =
+  let on =
+    observe_n (D.create ~baseline:base_signal ()) shifted_signal
+      D.default_config.D.enter_streak
+  in
+  checkb "raised" true (D.recommended on);
+  let low1 = D.observe on base_signal in
+  checkb "one quiet window does not clear" true (D.recommended low1);
+  let low2 = D.observe low1 base_signal in
+  checkb "streak of 2 clears" false (D.recommended low2);
+  checkb "reasons cleared" true (D.reasons low2 = []);
+  (* alternating noise never accumulates a streak in either direction *)
+  let d = ref (D.create ~baseline:base_signal ()) in
+  for _ = 1 to 4 do
+    d := D.observe (D.observe !d shifted_signal) base_signal
+  done;
+  checkb "alternating windows never raise" false (D.recommended !d)
+
+let test_drift_matrix_zero_padding () =
+  (* a larger matrix whose extra rows/cols are all zero is the same
+     observation — no matrix component fires *)
+  let padded =
+    {
+      base_signal with
+      D.sharing = [| [| 0; 2; 0 |]; [| 2; 0; 0 |]; [| 0; 0; 0 |] |];
+    }
+  in
+  let d = D.create ~baseline:base_signal () in
+  let score, reasons = D.score d padded in
+  Alcotest.(check (float 0.)) "padded matrix scores zero" 0. score;
+  checkb "no reasons" true (reasons = []);
+  (* genuinely moved sharing mass fires the matrix component *)
+  let moved =
+    { base_signal with D.sharing = [| [| 0; 0 |]; [| 0; 4 |] |] }
+  in
+  let _, reasons = D.score d moved in
+  checkb "matrix shift named" true
+    (List.exists (function D.Matrix_shift _ -> true | _ -> false) reasons)
+
+let test_drift_config_validation () =
+  let bad =
+    [
+      ("exit above enter", { D.default_config with D.exit_ = 0.5 });
+      ("negative exit", { D.default_config with D.exit_ = -0.1 });
+      ("zero enter streak", { D.default_config with D.enter_streak = 0 });
+      ("zero exit streak", { D.default_config with D.exit_streak = 0 });
+    ]
+  in
+  List.iter
+    (fun (label, c) ->
+      checkb label true (Result.is_error (D.validate_config c));
+      checkb (label ^ " raises on create") true
+        (match D.create ~config:c ~baseline:base_signal () with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+    bad;
+  checkb "default config valid" true
+    (Result.is_ok (D.validate_config D.default_config))
+
+let test_drift_signal_phase_shift () =
+  (* the synthetic phase shift: the baseline was captured under the
+     optimized layouts; the same program running under default layouts is
+     a workload the layouts no longer fit, and must score above enter *)
+  let app = Suite.find "mgrid" in
+  let baseline =
+    Experiment.drift_signal ~layouts:(Experiment.inter_layouts config app)
+      config app
+  in
+  let observed =
+    Experiment.drift_signal ~layouts:(Experiment.default_layouts app) config app
+  in
+  let d = D.create ~baseline () in
+  let unshifted, none = D.score d baseline in
+  Alcotest.(check (float 0.)) "unshifted window scores zero" 0. unshifted;
+  checkb "unshifted has no reasons" true (none = []);
+  let shifted, reasons = D.score d observed in
+  checkb "shifted window scores above enter" true
+    (shifted >= D.default_config.D.enter);
+  checkb "shifted names at least one component" true (reasons <> []);
+  checkb "reason lines render" true
+    (List.for_all (fun r -> String.length (D.reason_to_string r) > 0) reasons)
+
 let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_flagged_monotone ]
 
 let suite =
@@ -184,5 +316,11 @@ let suite =
     ("record publishes gauges", `Quick, test_record_publishes_gauges);
     ("argument validation", `Quick, test_predict_validates_args);
     ("row drift arithmetic", `Quick, test_row_drift_arithmetic);
+    ("drift watch: quiet on identical windows", `Quick, test_drift_quiet_on_identical);
+    ("drift watch: flags after enter streak", `Quick, test_drift_flags_after_streak);
+    ("drift watch: hysteresis", `Quick, test_drift_hysteresis);
+    ("drift watch: matrix zero-padding", `Quick, test_drift_matrix_zero_padding);
+    ("drift watch: config validation", `Quick, test_drift_config_validation);
+    ("drift watch: phase shift recommends re-layout", `Quick, test_drift_signal_phase_shift);
   ]
   @ qsuite

@@ -351,6 +351,118 @@ let test_metrics_counters_recorded () =
   check_int "per-tenant request counters sum to the total" r.Engine.total_requests
     total
 
+(* ---- SLO over the engine ----------------------------------------------- *)
+
+let slo_spec s =
+  match Flo_obs.Slo.parse s with
+  | Ok spec -> spec
+  | Error msg -> Alcotest.failf "parse %S: %s" s msg
+
+let storm_plan =
+  match Flo_faults.Fault_plan.of_string "read-error:rate=0.05" with
+  | Ok p -> Flo_faults.Fault_plan.with_seed p 7
+  | Error msg -> Alcotest.failf "fault plan: %s" msg
+
+let test_slo_windows_jobs_equivalent () =
+  (* the full windowed SLO report — congestion multipliers, burn rates,
+     alerts, faults baked into the kernels — must be byte-identical at
+     every jobs setting *)
+  let params =
+    {
+      toy_params with
+      Engine.tenants = 6;
+      windows = 5;
+      opt_share = 0.5;
+      faults = storm_plan;
+    }
+  in
+  let render spec_str jobs =
+    let r = Engine.simulate ~jobs ~config:small_config params in
+    let e = Slo_eval.evaluate (slo_spec spec_str) r in
+    Slo_report.summary r e ^ Slo_report.verdict_line r e
+  in
+  List.iter
+    (fun spec_str ->
+      check_str
+        (Printf.sprintf "%s report jobs-invariant" spec_str)
+        (render spec_str 1)
+        (render spec_str test_jobs))
+    [ "p99<500us@99"; "err<0.5%@99.9" ]
+
+let test_slo_storm_burns_default_cohort_more () =
+  (* a read-error storm: failures happen on disk reads, and the optimized
+     layouts do fewer of them per element access, so the default cohort
+     must consume more error budget *)
+  let params =
+    {
+      toy_params with
+      Engine.tenants = 8;
+      windows = 4;
+      opt_share = 0.5;
+      faults = storm_plan;
+    }
+  in
+  let r = Engine.simulate ~jobs:test_jobs ~config:small_config params in
+  (* threshold sits between the cohorts' error rates: the default layouts'
+     extra disk reads push their windows over it, the optimized stay under *)
+  let e = Slo_eval.evaluate (slo_spec "err<0.5%@99.9") r in
+  let burn optimized =
+    match
+      List.find_opt
+        (fun (row : Slo_eval.row) -> row.Slo_eval.scope = Slo_eval.Cohort optimized)
+        e.Slo_eval.cohort_rows
+    with
+    | Some row -> row.Slo_eval.verdict.Flo_obs.Slo.budget_consumed
+    | None -> Alcotest.failf "missing cohort row (optimized=%b)" optimized
+  in
+  checkb "storm burns budget at all" true (burn false > 0.);
+  checkb "default cohort burns more than optimized" true (burn false > burn true)
+
+let test_slo_fault_free_run_has_no_errors () =
+  let params = { toy_params with Engine.tenants = 4; windows = 4 } in
+  let r = Engine.simulate ~jobs:1 ~config:small_config params in
+  let e = Slo_eval.evaluate (slo_spec "err<0.01%@99.9") r in
+  let v = e.Slo_eval.fleet.Slo_eval.verdict in
+  checkb "no error burn without faults" true (v.Flo_obs.Slo.burn_rate = 0.);
+  checkb "compliant" true v.Flo_obs.Slo.compliant
+
+let test_windows_param_validation () =
+  checkb "zero windows rejected" true
+    (Result.is_error (Engine.validate { toy_params with Engine.windows = 0 }));
+  checkb "negative windows rejected" true
+    (Result.is_error (Engine.validate { toy_params with Engine.windows = -2 }));
+  checkb "many windows fine" true
+    (Result.is_ok (Engine.validate { toy_params with Engine.windows = 64 }))
+
+let test_windowed_totals_match_aggregate () =
+  (* windowing repartitions the same jobs: per-window rank ledgers must sum
+     to the aggregate rank ledger, at every windows setting *)
+  let totals params =
+    let r = Engine.simulate ~jobs:1 ~config:small_config params in
+    Array.map
+      (fun (s : Engine.tenant_stats) ->
+        let summed = Array.make (Array.length s.Engine.rank_jobs) 0 in
+        Array.iter
+          (Array.iteri (fun rank n -> summed.(rank) <- summed.(rank) + n))
+          s.Engine.window_rank_jobs;
+        (s.Engine.jobs, s.Engine.rank_jobs, summed))
+      r.Engine.tenants_stats
+  in
+  List.iter
+    (fun windows ->
+      Array.iter
+        (fun (jobs, rank_jobs, summed) ->
+          checkb
+            (Printf.sprintf "windows=%d ledger sums to aggregate" windows)
+            true
+            (rank_jobs = summed);
+          check_int
+            (Printf.sprintf "windows=%d ledger sums to job count" windows)
+            jobs
+            (Array.fold_left ( + ) 0 summed))
+        (totals { toy_params with Engine.tenants = 5; windows }))
+    [ 1; 3; 8 ]
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -374,5 +486,12 @@ let suite =
     ("degenerate reports render", `Quick, test_degenerate_reports_render);
     ("params validation", `Quick, test_validate_rejects_bad_params);
     ("metrics counters recorded", `Quick, test_metrics_counters_recorded);
+    ("slo report jobs-invariant", `Quick, test_slo_windows_jobs_equivalent);
+    ("slo storm burns default cohort more", `Quick,
+     test_slo_storm_burns_default_cohort_more);
+    ("slo fault-free run clean", `Quick, test_slo_fault_free_run_has_no_errors);
+    ("windows validation", `Quick, test_windows_param_validation);
+    ("windowed ledgers sum to aggregate", `Quick,
+     test_windowed_totals_match_aggregate);
   ]
   @ qsuite
