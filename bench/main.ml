@@ -684,7 +684,7 @@ let json_mode args =
       ]
     end
   in
-  let traffic_metrics =
+  let traffic_metrics, traffic_result, traffic_wall =
     (* ungated traffic-engine numbers: the batched multi-tenant replay
        (Flo_traffic) against the per-element simulate loop it replaces.
        All wall-clock, so never gated; the modeled request count rides
@@ -741,12 +741,65 @@ let json_mode args =
       m ~name:"speedup_vs_loop" ~value:(modeled_rps /. Float.max 1e-9 loop_rps)
         ~unit_:"x";
     ]
-    @ slo_metrics
+    @ slo_metrics,
+    result, tenant_wall
+  in
+  let trace_metrics =
+    (* ungated sampled-tracing numbers: re-run the same traffic params with
+       tracing on and report what the sampler kept plus the wall-clock cost
+       of the observation sweep.  The modeled numbers of the traced run must
+       be byte-identical to the untraced run above — tracing only ever adds
+       exemplars, never counts — so the verdict lines are compared here and
+       any divergence aborts the bench. *)
+    Printf.eprintf "bench json: traffic engine (traced)...\n%!";
+    let params =
+      (* 8 windows so the ride-along SLO metrics see real multi-window
+         behavior instead of the degenerate single-window verdict *)
+      { (Flo_traffic.Engine.default_params ~mix:selected) with
+        Flo_traffic.Engine.sample; windows = 8;
+        trace =
+          Some
+            { Flo_traffic.Tracer.default with
+              Flo_traffic.Tracer.sample_rate = 4096 } }
+    in
+    let t0 = Unix.gettimeofday () in
+    let traced = Flo_traffic.Engine.simulate ~jobs ~config params in
+    let traced_wall = Unix.gettimeofday () -. t0 in
+    let untraced_line = Flo_traffic.Traffic_report.verdict_line traffic_result in
+    let traced_line = Flo_traffic.Traffic_report.verdict_line traced in
+    if untraced_line <> traced_line then begin
+      Printf.eprintf
+        "bench json: tracing changed modeled numbers:\n  off: %s\n  on:  %s\n"
+        untraced_line traced_line;
+      exit 2
+    end;
+    Printf.eprintf "bench json: traced modeled numbers identical to untraced\n%!";
+    let traces = traced.Flo_traffic.Engine.traces in
+    let represented =
+      List.fold_left (fun a (t : Flo_obs.Trace.t) -> a + t.Flo_obs.Trace.count) 0
+        traces
+    in
+    let spans =
+      List.fold_left (fun a t -> a + Flo_obs.Trace.span_count t) 0 traces
+    in
+    let m ~name ~value ~unit_ =
+      { Bench_schema.app = "_trace"; name; value; unit_; gated = false }
+    in
+    [
+      m ~name:"sampled_traces" ~value:(float_of_int (List.length traces))
+        ~unit_:"trace";
+      m ~name:"sampled_requests" ~value:(float_of_int represented) ~unit_:"req";
+      m ~name:"sampled_spans" ~value:(float_of_int spans) ~unit_:"span";
+      m ~name:"traced_wall_s" ~value:traced_wall ~unit_:"s";
+      m ~name:"trace_overhead"
+        ~value:(traced_wall /. Float.max 1e-9 traffic_wall) ~unit_:"x";
+    ]
   in
   let manifest =
     { manifest with
       Bench_schema.metrics =
-        manifest.Bench_schema.metrics @ suite_metrics @ traffic_metrics }
+        manifest.Bench_schema.metrics @ suite_metrics @ traffic_metrics
+        @ trace_metrics }
   in
   (match Bench_schema.validate manifest with
   | Ok () -> ()

@@ -371,7 +371,7 @@ let layout_cmd =
   in
   Cmd.v (Cmd.info "layout" ~doc) Term.(const run $ app_arg $ array_arg)
 
-let trace_cmd =
+let trace_csv_cmd =
   let doc = "Export per-thread block-request traces as CSV (thread, seq, file, block)." in
   let out_arg =
     Arg.(value & opt string "-" & info [ "out" ] ~docv:"FILE" ~doc:"Output file ('-' = stdout).")
@@ -402,7 +402,133 @@ let trace_cmd =
       app.App.program.Flo_poly.Program.nests;
     if out <> "-" then close_out oc
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ app_arg $ layout_arg $ out_arg)
+  Cmd.v (Cmd.info "trace-csv" ~doc) Term.(const run $ app_arg $ layout_arg $ out_arg)
+
+(* `flopt trace` — the viewer for request-level sampled traces written by
+   `flopt traffic --trace-out` / `flopt slo --trace-out` *)
+let trace_cmd =
+  let doc =
+    "Render request-level sampled traces (JSONL written by $(b,flopt traffic \
+     --trace-out) or $(b,flopt slo --trace-out)) as span trees on the \
+     modeled clock: arrival, shard queueing/congestion, per-layer cache \
+     verdicts, disk service and retries.  Filter by tenant, app, outcome, \
+     latency or trace id — the ids are exactly the ones report p99 exemplar \
+     lines and Perfetto slice args carry."
+  in
+  let file_pos =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Sampled-trace JSONL file.")
+  in
+  let tenant_arg =
+    Arg.(value & opt (some int) None
+         & info [ "tenant" ] ~docv:"N" ~doc:"Only traces of tenant $(docv).")
+  in
+  let app_filter_arg =
+    Arg.(value & opt (some string) None
+         & info [ "app" ] ~docv:"NAME" ~doc:"Only traces of application $(docv).")
+  in
+  let outcome_arg =
+    Arg.(value & opt (some string) None
+         & info [ "outcome" ] ~docv:"KIND"
+             ~doc:"Only traces with this outcome ($(b,ok), $(b,fault), \
+                   $(b,timeout)).")
+  in
+  let min_lat_arg =
+    Arg.(value & opt (some float) None
+         & info [ "min-lat" ] ~docv:"US"
+             ~doc:"Only traces at least $(docv) modeled microseconds slow.")
+  in
+  let id_arg =
+    Arg.(value & opt (some string) None
+         & info [ "id" ] ~docv:"HEX"
+             ~doc:"Only the trace with this 16-digit hex id (as printed by \
+                   report exemplar lines).")
+  in
+  let max_arg =
+    Arg.(value & opt int 10
+         & info [ "max" ] ~docv:"N"
+             ~doc:"Span trees to render (slowest first); 0 means all.")
+  in
+  let perfetto_arg =
+    Arg.(value & opt (some string) None
+         & info [ "perfetto" ] ~docv:"OUT"
+             ~doc:"Instead of rendering, export the matching traces as \
+                   Chrome trace-event JSON for ui.perfetto.dev.")
+  in
+  let run path tenant app_name outcome min_lat id max_trees perfetto =
+    let id =
+      Option.map
+        (fun s ->
+          match Flo_obs.Trace.id_of_string s with
+          | Some id -> id
+          | None ->
+            Printf.eprintf "flopt: trace: malformed trace id %S (want 16 hex digits)\n" s;
+            exit 2)
+        id
+    in
+    let traces = ref [] in
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let lineno = ref 0 in
+        try
+          while true do
+            let line = input_line ic in
+            incr lineno;
+            if String.trim line <> "" then
+              match Flo_obs.Trace.of_json line with
+              | Ok t -> traces := t :: !traces
+              | Error msg ->
+                Printf.eprintf "flopt: trace: %s, line %d: %s\n" path !lineno msg;
+                exit 2
+          done
+        with End_of_file -> ());
+    let all = List.rev !traces in
+    let keep (t : Flo_obs.Trace.t) =
+      (match tenant with None -> true | Some n -> t.Flo_obs.Trace.tenant = n)
+      && (match app_name with None -> true | Some a -> t.Flo_obs.Trace.app = a)
+      && (match outcome with None -> true | Some o -> t.Flo_obs.Trace.outcome = o)
+      && (match min_lat with None -> true | Some l -> t.Flo_obs.Trace.latency_us >= l)
+      && match id with None -> true | Some i -> t.Flo_obs.Trace.trace_id = i
+    in
+    let matching = List.filter keep all in
+    match perfetto with
+    | Some out ->
+      let oc = open_out out in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> Flo_analysis.Perfetto.write_traces oc matching);
+      Printf.printf "perfetto export of %d trace(s) written to %s (open in ui.perfetto.dev)\n"
+        (List.length matching) out
+    | None ->
+      (* slowest first — the tail is what tracing exists to explain; ties
+         break by trace id so the order is total and deterministic *)
+      let sorted =
+        List.sort
+          (fun (a : Flo_obs.Trace.t) (b : Flo_obs.Trace.t) ->
+            match compare b.Flo_obs.Trace.latency_us a.Flo_obs.Trace.latency_us with
+            | 0 -> compare a.Flo_obs.Trace.trace_id b.Flo_obs.Trace.trace_id
+            | c -> c)
+          matching
+      in
+      let shown =
+        if max_trees <= 0 then sorted
+        else
+          List.filteri (fun i _ -> i < max_trees) sorted
+      in
+      List.iter (fun t -> Format.printf "%a@.@." Flo_obs.Trace.pp_tree t) shown;
+      let represented =
+        List.fold_left (fun a (t : Flo_obs.Trace.t) -> a + t.Flo_obs.Trace.count) 0
+          matching
+      in
+      Printf.printf
+        "trace file %s: %d trace(s) of %d loaded match (%d modeled requests represented, %d rendered)\n"
+        path (List.length matching) (List.length all) represented (List.length shown)
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ file_pos $ tenant_arg $ app_filter_arg $ outcome_arg
+          $ min_lat_arg $ id_arg $ max_arg $ perfetto_arg)
 
 let bench_diff_cmd =
   let doc =
@@ -742,6 +868,46 @@ module Traffic_args = struct
     Arg.(value & opt int 42
          & info [ "fault-seed" ] ~docv:"S" ~doc:"Seed for the $(b,--faults) plan.")
 
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Enable request-level sampled tracing and write the sampled \
+                   traces as JSONL to $(docv) (render with $(b,flopt trace)).  \
+                   Off by default; untraced runs pay zero overhead and print \
+                   byte-identical reports.")
+
+  let sample_rate =
+    Arg.(value
+         & opt int Flo_traffic.Tracer.default.Flo_traffic.Tracer.sample_rate
+         & info [ "sample-rate" ] ~docv:"N"
+             ~doc:"Head-sample 1 in $(docv) requests per tenant.  Tail \
+                   sampling (SLO-breaching, faulted/timed-out, and \
+                   per-tenant-window slowest requests) is always on.  Only \
+                   meaningful with $(b,--trace-out).")
+
+  let trace_breach =
+    Arg.(value
+         & opt float Flo_traffic.Tracer.default.Flo_traffic.Tracer.breach_us
+         & info [ "trace-breach-us" ] ~docv:"US"
+             ~doc:"Tail-sample every request slower than $(docv) modeled \
+                   microseconds.  Only meaningful with $(b,--trace-out).")
+
+  (* atomic like Sink.with_jsonl: readers never observe a half-written file *)
+  let write_traces path traces =
+    let tmp = path ^ ".part" in
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        List.iter
+          (fun t ->
+            output_string oc (Flo_obs.Trace.to_json t);
+            output_char oc '\n')
+          traces);
+    Sys.rename tmp path;
+    Printf.printf "%d sampled trace(s) written to %s (render with `flopt trace %s`)\n"
+      (List.length traces) path path
+
   let parse_mix ~cmd mix_spec =
     if mix_spec = "suite" then Suite.all
     else
@@ -756,7 +922,7 @@ module Traffic_args = struct
         (String.split_on_char ',' mix_spec)
 
   let params ~cmd mix_spec tenants seed duration rate zipf_s opt_share noisy burst
-      sample windows faults_spec fault_seed =
+      sample windows faults_spec fault_seed trace_out sample_rate trace_breach_us =
     let mix = parse_mix ~cmd mix_spec in
     let process =
       match burst with
@@ -787,6 +953,16 @@ module Traffic_args = struct
         sample;
         windows;
         faults;
+        trace =
+          (match trace_out with
+          | None -> None
+          | Some _ ->
+            Some
+              {
+                Flo_traffic.Tracer.default with
+                Flo_traffic.Tracer.sample_rate;
+                breach_us = trace_breach_us;
+              });
       }
     in
     (match Flo_traffic.Engine.validate params with
@@ -825,21 +1001,27 @@ let traffic_cmd =
                    $(b,err<0.5%\\@99).  See $(b,flopt slo).")
   in
   let run mix_spec tenants seed duration rate zipf_s opt_share noisy burst sample
-      max_rows windows faults_spec fault_seed slo jobs =
+      max_rows windows faults_spec fault_seed trace_out sample_rate trace_breach
+      slo jobs =
     let slo_spec = Option.map (Traffic_args.parse_slo ~cmd:"traffic") slo in
     let params =
       Traffic_args.params ~cmd:"traffic" mix_spec tenants seed duration rate zipf_s
-        opt_share noisy burst sample windows faults_spec fault_seed
+        opt_share noisy burst sample windows faults_spec fault_seed trace_out
+        sample_rate trace_breach
     in
     let jobs = resolve_jobs jobs in
     let result = Flo_traffic.Engine.simulate ~jobs ~config params in
     Flo_traffic.Traffic_report.print ~max_rows result;
-    match slo_spec with
+    (match slo_spec with
     | None -> ()
     | Some spec ->
       let e = Flo_traffic.Slo_eval.evaluate spec result in
       print_newline ();
-      Flo_traffic.Slo_report.print ~max_rows result e
+      Flo_traffic.Slo_report.print ~max_rows result e);
+    Option.iter
+      (fun path ->
+        Traffic_args.write_traces path result.Flo_traffic.Engine.traces)
+      trace_out
   in
   Cmd.v (Cmd.info "traffic" ~doc)
     Term.(const run $ Traffic_args.mix_pos 0 $ Traffic_args.tenants
@@ -847,7 +1029,8 @@ let traffic_cmd =
           $ Traffic_args.zipf $ Traffic_args.opt_share $ Traffic_args.noisy
           $ Traffic_args.burst $ Traffic_args.sample $ Traffic_args.max_rows
           $ Traffic_args.windows $ Traffic_args.faults $ Traffic_args.fault_seed
-          $ slo_arg $ jobs_arg)
+          $ Traffic_args.trace_out $ Traffic_args.sample_rate
+          $ Traffic_args.trace_breach $ slo_arg $ jobs_arg)
 
 let slo_cmd =
   let doc =
@@ -869,16 +1052,22 @@ let slo_cmd =
                    us/ms/s) or $(b,err<N%\\@T) (e.g. $(b,err<0.5%\\@99)).")
   in
   let run spec_str mix_spec tenants seed duration rate zipf_s opt_share noisy burst
-      sample max_rows windows faults_spec fault_seed jobs =
+      sample max_rows windows faults_spec fault_seed trace_out sample_rate
+      trace_breach jobs =
     let spec = Traffic_args.parse_slo ~cmd:"slo" spec_str in
     let params =
       Traffic_args.params ~cmd:"slo" mix_spec tenants seed duration rate zipf_s
-        opt_share noisy burst sample windows faults_spec fault_seed
+        opt_share noisy burst sample windows faults_spec fault_seed trace_out
+        sample_rate trace_breach
     in
     let jobs = resolve_jobs jobs in
     let result = Flo_traffic.Engine.simulate ~jobs ~config params in
     let e = Flo_traffic.Slo_eval.evaluate spec result in
     Flo_traffic.Slo_report.print ~max_rows result e;
+    Option.iter
+      (fun path ->
+        Traffic_args.write_traces path result.Flo_traffic.Engine.traces)
+      trace_out;
     if not e.Flo_traffic.Slo_eval.fleet.Flo_traffic.Slo_eval.verdict
              .Flo_obs.Slo.compliant
     then exit 1
@@ -889,7 +1078,8 @@ let slo_cmd =
           $ Traffic_args.zipf $ Traffic_args.opt_share $ Traffic_args.noisy
           $ Traffic_args.burst $ Traffic_args.sample $ Traffic_args.max_rows
           $ Traffic_args.windows $ Traffic_args.faults $ Traffic_args.fault_seed
-          $ jobs_arg)
+          $ Traffic_args.trace_out $ Traffic_args.sample_rate
+          $ Traffic_args.trace_breach $ jobs_arg)
 
 let drift_cmd =
   let doc =
@@ -1033,5 +1223,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ apps_cmd; plan_cmd; run_cmd; bench_cmd; analyze_cmd; bench_diff_cmd;
-            chaos_cmd; fidelity_cmd; drift_cmd; layout_cmd; trace_cmd;
-            traffic_cmd; slo_cmd; topology_cmd ]))
+            chaos_cmd; fidelity_cmd; drift_cmd; layout_cmd; trace_csv_cmd;
+            trace_cmd; traffic_cmd; slo_cmd; topology_cmd ]))

@@ -33,6 +33,7 @@ let kind_index = function
   | Event.Retry -> 8
   | Event.Timeout -> 9
   | Event.Failover -> 10
+  | Event.Other _ -> 11
 
 let create ?(keep_events = false) () =
   {
@@ -42,7 +43,7 @@ let create ?(keep_events = false) () =
     keep_events;
     events_rev = [];
     event_count = 0;
-    kind_counts = Array.make 11 0;
+    kind_counts = Array.make 12 0;
     t_min = infinity;
     t_max = neg_infinity;
     disk_us = 0.;
@@ -81,7 +82,8 @@ let feed t (e : Event.t) =
   | Event.Disk_read -> t.disk_us <- t.disk_us +. e.Event.latency_us
   (* failed attempts and failover reads occupy the disks too *)
   | Event.Fault | Event.Failover -> t.disk_us <- t.disk_us +. e.Event.latency_us
-  | Event.Demote | Event.Prefetch | Event.Retry | Event.Timeout -> ()
+  | Event.Demote | Event.Prefetch | Event.Retry | Event.Timeout
+  | Event.Other _ -> ()
 
 let sink t = Sink.callback (feed t)
 

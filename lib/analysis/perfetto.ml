@@ -40,6 +40,20 @@ type request = {
 let cache_label (layer : Event.layer) node =
   Printf.sprintf "%s/%d" (Event.layer_to_string layer) node
 
+(* forward-compat [Event.Other] names come off the wire unvalidated *)
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' ->
+        Buffer.add_char b '\\';
+        Buffer.add_char b c
+      | '\x00' .. '\x1f' -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 let emit_json buf first fmt =
   if !first then first := false else Buffer.add_char buf ',';
   Buffer.add_string buf "\n  ";
@@ -68,12 +82,22 @@ let to_buffer buf events =
       tid
   in
   let open_requests : (int, request) Hashtbl.t = Hashtbl.create 16 in
+  (* stable per-slice ids: the k-th request of a thread always exports the
+     same trace_id/span_id (minted from the (thread, k) counter position,
+     never from content or wall clock), so slices cross-reference with
+     `flopt trace` output and diff clean across exports *)
+  let req_seq : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let close_request thread r ~end_us =
+    let seq = Option.value ~default:0 (Hashtbl.find_opt req_seq thread) in
+    Hashtbl.replace req_seq thread (seq + 1);
+    let trace_id = Flo_obs.Trace.mint_id ~seed:0 ~stream:thread seq in
     let dur = Float.max (end_us -. r.start_us) 0.001 in
     emit_json buf first
-      {|{"ph":"X","pid":1,"tid":%d,"ts":%.3f,"dur":%.3f,"name":"f%d:b%d","cat":"%s","cname":"%s","args":{"file":%d,"block":%d,"outcome":"%s"%s}}|}
+      {|{"ph":"X","pid":1,"tid":%d,"ts":%.3f,"dur":%.3f,"name":"f%d:b%d","cat":"%s","cname":"%s","args":{"file":%d,"block":%d,"outcome":"%s","trace_id":"%s","span_id":"%s"%s}}|}
       thread r.start_us dur r.file r.block (outcome_name r.outcome)
       (outcome_cname r.outcome) r.file r.block (outcome_name r.outcome)
+      (Flo_obs.Trace.id_to_string trace_id)
+      (Flo_obs.Trace.id_to_string (Flo_obs.Trace.span_id ~trace_id 0))
       (if r.disk_us > 0. then Printf.sprintf {|,"disk_us":%.3f|} r.disk_us else "")
   in
   let instant (e : Event.t) verb =
@@ -137,6 +161,7 @@ let to_buffer buf events =
       | Event.Prefetch -> instant e "prefetch"
       | Event.Retry -> instant e "retry"
       | Event.Timeout -> instant e "timeout"
+      | Event.Other name -> instant e (escape name)
       | Event.Miss -> ())
     events;
   Hashtbl.fold (fun thread r acc -> (thread, r) :: acc) open_requests []
@@ -154,4 +179,49 @@ let json_of_events events =
 let write oc events =
   let buf = Buffer.create 65536 in
   to_buffer buf events;
+  Buffer.output_buffer oc buf
+
+(* Sampled-trace export: one track per trace (span trees of one tenant
+   overlap in modeled time, so they cannot stack on a shared track), slices
+   nested exactly as the span tree nests.  Every slice carries the same
+   trace_id/span_id pair `flopt trace` renders — preorder numbering via
+   Trace.span_id — so the two views cross-reference by id. *)
+let traces_to_buffer buf traces =
+  let module Trace = Flo_obs.Trace in
+  Buffer.add_string buf "{\"traceEvents\": [";
+  let first = ref true in
+  emit_json buf first
+    {|{"ph":"M","pid":1,"name":"process_name","args":{"name":"sampled traces"}}|};
+  List.iteri
+    (fun tid (t : Trace.t) ->
+      emit_json buf first
+        {|{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":"%s tenant=%d %s"}}|}
+        tid (Trace.id_to_string t.Trace.trace_id) t.Trace.tenant
+        (escape t.Trace.outcome);
+      let next = ref 0 in
+      let rec go (s : Trace.span) =
+        let k = !next in
+        incr next;
+        emit_json buf first
+          {|{"ph":"X","pid":1,"tid":%d,"ts":%.3f,"dur":%.3f,"name":"%s","cat":"%s","args":{"trace_id":"%s","span_id":"%s","tenant":%d,"window":%d,"shard":%d,"count":%d}}|}
+          tid s.Trace.start_us
+          (Float.max s.Trace.dur_us 0.001)
+          (escape s.Trace.name) (escape t.Trace.outcome)
+          (Trace.id_to_string t.Trace.trace_id)
+          (Trace.id_to_string (Trace.span_id ~trace_id:t.Trace.trace_id k))
+          t.Trace.tenant t.Trace.window t.Trace.shard t.Trace.count;
+        List.iter go s.Trace.children
+      in
+      go t.Trace.root)
+    traces;
+  Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\"}\n"
+
+let json_of_traces traces =
+  let buf = Buffer.create 65536 in
+  traces_to_buffer buf traces;
+  Buffer.contents buf
+
+let write_traces oc traces =
+  let buf = Buffer.create 65536 in
+  traces_to_buffer buf traces;
   Buffer.output_buffer oc buf

@@ -20,6 +20,17 @@ let next_int64 t =
   t.state <- Int64.add t.state golden;
   mix t.state
 
+(* splitmix64 is a counter-mode generator: draw k of a stream whose state
+   starts at s0 is mix (s0 + (k+1)*golden), so any draw is addressable in
+   O(1) without advancing shared state — tracing mints ids this way *)
+let at ~seed ~stream k =
+  if k < 0 then invalid_arg "Prng.at: negative index";
+  let s0 =
+    Int64.add (mix (Int64.of_int seed))
+      (Int64.mul (Int64.of_int (stream + 1)) 0xD1342543DE82EF95L)
+  in
+  mix (Int64.add s0 (Int64.mul (Int64.of_int (k + 1)) golden))
+
 let float t =
   let bits = Int64.shift_right_logical (next_int64 t) 11 in
   Int64.to_float bits *. 0x1.0p-53

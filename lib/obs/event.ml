@@ -10,6 +10,7 @@ type kind =
   | Retry
   | Timeout
   | Failover
+  | Other of string
 type layer = L1 | L2 | Disk
 
 type t = {
@@ -38,6 +39,7 @@ let kind_to_string = function
   | Retry -> "retry"
   | Timeout -> "timeout"
   | Failover -> "failover"
+  | Other s -> s
 
 let layer_to_string = function L1 -> "l1" | L2 -> "l2" | Disk -> "disk"
 
@@ -173,8 +175,10 @@ let of_json line =
   try
     parse ();
     let kind =
+      (* unknown kinds round-trip as opaque [Other] records: a trace written
+         by a newer emitter must not fail an older analyzer's whole load *)
       let s = str "kind" in
-      match kind_of_string s with Some k -> k | None -> fail "unknown kind %S" s
+      match kind_of_string s with Some k -> k | None -> Other s
     in
     let layer =
       let s = str "layer" in

@@ -22,6 +22,11 @@ type kind =
   | Failover
       (** read served by the failover replica node; [latency_us] is that
           read's service time ([node] is the replica) *)
+  | Other of string
+      (** an event kind this build does not know — round-tripped opaquely so
+          traces written by newer emitters still load ({!of_json} never
+          rejects a record for its kind alone).  The payload is the wire
+          name; {!kind_to_string} echoes it back verbatim. *)
 
 type layer = L1 | L2 | Disk
 
@@ -51,6 +56,9 @@ val make :
 val kind_to_string : kind -> string
 val layer_to_string : layer -> string
 val kind_of_string : string -> kind option
+(** The known kinds only — [None] for a name this build does not recognize;
+    {!of_json} wraps such misses in {!Other} instead of failing. *)
+
 val layer_of_string : string -> layer option
 
 val to_json : t -> string
@@ -59,7 +67,8 @@ val to_json : t -> string
 
 val of_json : string -> (t, string) result
 (** Inverse of {!to_json}: parse one JSONL trace line.  Tolerates any field
-    order and surrounding whitespace; [lat_us] defaults to [0.] when absent.
+    order and surrounding whitespace; [lat_us] defaults to [0.] when absent;
+    an unrecognized kind name becomes {!Other} rather than an error.
     Timestamps round-trip at the serializer's millisecond-of-a-microsecond
     precision ([%.3f]).  Returns [Error msg] on malformed input — offline
     trace analysis ({!Flo_analysis.Analyzer.load_file}) surfaces these with

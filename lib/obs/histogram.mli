@@ -46,6 +46,41 @@ val bounds : t -> float array
 val counts : t -> int array
 (** Per-bucket observation counts (a copy). *)
 
+val value_index : t -> float -> int
+(** Bucket a value would land in — the same monotone index {!add} uses, so
+    callers can key per-bucket side tables (latency classes, exemplars)
+    consistently with the counts. *)
+
+type exemplar = { value : float; trace_id : int64 }
+(** A concrete sampled observation linked to a request trace: the bridge
+    from an aggregate percentile back to one request's span tree. *)
+
+val add_exemplar : ?cap:int -> t -> value:float -> trace_id:int64 -> unit
+(** Attach an exemplar to the bucket [value] falls in, without touching the
+    counts.  Each bucket keeps at most [cap] exemplars (default 2) under a
+    deterministic keep-max rule: largest values first, ties broken towards
+    the smaller trace id — so the head of a bucket's list is always the
+    bucket's maximum attached value.  The per-bucket store is allocated on
+    first use; histograms that never trace carry no exemplar state at all.
+    @raise Invalid_argument on NaN or [cap < 1]. *)
+
+val exemplars_of_bucket : t -> int -> exemplar list
+(** The bucket's exemplars, keep-max order.  [[]] when none were attached.
+    @raise Invalid_argument when the bucket index is out of range. *)
+
+val exemplars_at : t -> p:float -> exemplar list
+(** Exemplars for the bucket holding the [p]-quantile (the bucket
+    {!percentile} reads).  When that bucket carries none, falls back to the
+    nearest populated bucket above it, then below — deterministic, and
+    non-empty whenever the histogram holds any exemplar at all.  [[]] on an
+    empty histogram.  @raise Invalid_argument if [p] is outside [0, 1]. *)
+
+val has_exemplars : t -> bool
+
+val percentile_bucket : t -> float -> int
+(** Index of the bucket {!percentile} answers from; [0] when empty.
+    @raise Invalid_argument if [p] is outside [0, 1]. *)
+
 val percentile : t -> float -> float
 (** [percentile t p] for [p] in [0, 1]: an upper-bound estimate of the
     p-quantile — the upper edge of the bucket holding the rank-[ceil(p*n)]

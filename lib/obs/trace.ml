@@ -1,0 +1,373 @@
+type span = {
+  name : string;
+  start_us : float;
+  dur_us : float;
+  children : span list;
+}
+
+type reason = Head | Breach | Fault_path | Window_max
+
+type t = {
+  trace_id : int64;
+  tenant : int;
+  app : string;
+  window : int;
+  shard : int;
+  outcome : string;
+  latency_us : float;
+  count : int;
+  reasons : reason list;
+  root : span;
+}
+
+let span ?(children = []) ~name ~start_us ~dur_us () =
+  { name; start_us; dur_us; children }
+
+let make ~trace_id ~tenant ~app ~window ~shard ~outcome ~latency_us ~count ~reasons
+    ~root =
+  if reasons = [] then invalid_arg "Trace.make: empty reason list";
+  if count < 1 then invalid_arg "Trace.make: count must be positive";
+  let reasons = List.sort_uniq compare reasons in
+  { trace_id; tenant; app; window; shard; outcome; latency_us; count; reasons; root }
+
+let span_count t =
+  let rec go s = List.fold_left (fun acc c -> acc + go c) 1 s.children in
+  go t.root
+
+(* Deterministic ids.
+   This is splitmix64 again — the same mix finalizer, golden-ratio counter
+   step and substream offset as Flo_faults.Prng — duplicated because flo_obs
+   sits below flo_faults in the library DAG and must not depend upward.  A
+   test pins [mint_id ~seed ~stream k = Prng.at ~seed ~stream k] so the two
+   copies cannot drift silently. *)
+
+let golden = 0x9E3779B97F4A7C15L
+let stream_step = 0xD1342543DE82EF95L
+
+let mix z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let mint_id ~seed ~stream k =
+  if k < 0 then invalid_arg "Trace.mint_id: negative index";
+  let s0 =
+    Int64.add (mix (Int64.of_int seed)) (Int64.mul (Int64.of_int (stream + 1)) stream_step)
+  in
+  mix (Int64.add s0 (Int64.mul (Int64.of_int (k + 1)) golden))
+
+let span_id ~trace_id k =
+  if k < 0 then invalid_arg "Trace.span_id: negative index";
+  mix (Int64.add trace_id (Int64.mul (Int64.of_int (k + 1)) golden))
+
+let id_to_string id = Printf.sprintf "%016Lx" id
+
+let id_of_string s =
+  let hex = function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false in
+  if String.length s = 16 && String.for_all hex s then
+    (* hex int64 literals parse modulo 2^64, which is exactly the unsigned
+       round-trip of the %016Lx form *)
+    Int64.of_string_opt ("0x" ^ s)
+  else None
+
+let reason_to_string = function
+  | Head -> "head"
+  | Breach -> "breach"
+  | Fault_path -> "fault"
+  | Window_max -> "window_max"
+
+let reason_of_string = function
+  | "head" -> Some Head
+  | "breach" -> Some Breach
+  | "fault" -> Some Fault_path
+  | "window_max" -> Some Window_max
+  | _ -> None
+
+(* wire format *)
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' ->
+        Buffer.add_char b '\\';
+        Buffer.add_char b c
+      | '\x00' .. '\x1f' -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec span_to_buf buf s =
+  Printf.ksprintf (Buffer.add_string buf) {|{"name":"%s","t_us":%.3f,"dur_us":%.3f|}
+    (escape s.name) s.start_us s.dur_us;
+  (match s.children with
+  | [] -> ()
+  | children ->
+    Buffer.add_string buf {|,"children":[|};
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_char buf ',';
+        span_to_buf buf c)
+      children;
+    Buffer.add_char buf ']');
+  Buffer.add_char buf '}'
+
+let to_json t =
+  let buf = Buffer.create 256 in
+  Printf.ksprintf (Buffer.add_string buf)
+    {|{"trace_id":"%s","tenant":%d,"app":"%s","window":%d,"shard":%d,"outcome":"%s","lat_us":%.3f,"count":%d,"reasons":[|}
+    (id_to_string t.trace_id) t.tenant (escape t.app) t.window t.shard
+    (escape t.outcome) t.latency_us t.count;
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (reason_to_string r);
+      Buffer.add_char buf '"')
+    t.reasons;
+  Buffer.add_string buf {|],"root":|};
+  span_to_buf buf t.root;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* Minimal recursive JSON reader for the nested shape {!to_json} emits:
+   objects, arrays, strings, numbers.  Depth-capped so a hostile line cannot
+   blow the stack (same defensive posture as Bench_schema's reader). *)
+
+exception Parse of string
+
+type jv = S of string | N of float | O of (string * jv) list | A of jv list
+
+let max_depth = 64
+
+let parse_value line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Parse m)) fmt in
+  let skip_ws () =
+    while
+      !pos < n && (match line.[!pos] with ' ' | '\t' | '\r' | '\n' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then incr pos else fail "expected '%c' at offset %d" c !pos
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match line.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          if !pos + 1 >= n then fail "dangling escape";
+          (match line.[!pos + 1] with
+          | 'u' ->
+            if !pos + 5 >= n then fail "truncated \\u escape";
+            let code =
+              match int_of_string_opt ("0x" ^ String.sub line (!pos + 2) 4) with
+              | Some c -> c
+              | None -> fail "malformed \\u escape at offset %d" !pos
+            in
+            (* we only ever emit control characters this way *)
+            Buffer.add_char b (Char.chr (code land 0xff));
+            pos := !pos + 6
+          | 'n' ->
+            Buffer.add_char b '\n';
+            pos := !pos + 2
+          | 't' ->
+            Buffer.add_char b '\t';
+            pos := !pos + 2
+          | c ->
+            Buffer.add_char b c;
+            pos := !pos + 2);
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number_lit () =
+    skip_ws ();
+    let start = !pos in
+    while
+      !pos < n
+      && (match line.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr pos
+    done;
+    if !pos = start then fail "expected a value at offset %d" start;
+    match float_of_string_opt (String.sub line start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number at offset %d" start
+  in
+  let rec value depth =
+    if depth > max_depth then fail "nesting deeper than %d" max_depth;
+    skip_ws ();
+    match peek () with
+    | Some '"' -> S (string_lit ())
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        O []
+      end
+      else begin
+        let fields = ref [] in
+        let continue = ref true in
+        while !continue do
+          let key = string_lit () in
+          expect ':';
+          fields := (key, value (depth + 1)) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> incr pos
+          | Some '}' ->
+            incr pos;
+            continue := false
+          | _ -> fail "expected ',' or '}' at offset %d" !pos
+        done;
+        O (List.rev !fields)
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        A []
+      end
+      else begin
+        let items = ref [] in
+        let continue = ref true in
+        while !continue do
+          items := value (depth + 1) :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> incr pos
+          | Some ']' ->
+            incr pos;
+            continue := false
+          | _ -> fail "expected ',' or ']' at offset %d" !pos
+        done;
+        A (List.rev !items)
+      end
+    | _ -> N (number_lit ())
+  in
+  let v = value 0 in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage at offset %d" !pos;
+  v
+
+let of_json line =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Parse m)) fmt in
+  let fields = function O fs -> fs | _ -> fail "expected an object" in
+  let str fs key =
+    match List.assoc_opt key fs with
+    | Some (S s) -> s
+    | Some _ -> fail "field %S is not a string" key
+    | None -> fail "missing field %S" key
+  in
+  let num fs key =
+    match List.assoc_opt key fs with
+    | Some (N f) -> f
+    | Some _ -> fail "field %S is not a number" key
+    | None -> fail "missing field %S" key
+  in
+  let int fs key =
+    let f = num fs key in
+    let i = int_of_float f in
+    if float_of_int i <> f then fail "field %S is not an integer" key;
+    i
+  in
+  let rec span_of fs =
+    let children =
+      match List.assoc_opt "children" fs with
+      | None -> []
+      | Some (A items) -> List.map (fun v -> span_of (fields v)) items
+      | Some _ -> fail "field \"children\" is not an array"
+    in
+    {
+      name = str fs "name";
+      start_us = num fs "t_us";
+      dur_us = num fs "dur_us";
+      children;
+    }
+  in
+  try
+    let fs = fields (parse_value line) in
+    let trace_id =
+      let s = str fs "trace_id" in
+      match id_of_string s with
+      | Some id -> id
+      | None -> fail "malformed trace id %S" s
+    in
+    let reasons =
+      match List.assoc_opt "reasons" fs with
+      | Some (A items) ->
+        (* unknown reason names are a newer sampler's vocabulary — drop them *)
+        List.filter_map
+          (function S s -> reason_of_string s | _ -> fail "non-string reason")
+          items
+      | Some _ -> fail "field \"reasons\" is not an array"
+      | None -> fail "missing field \"reasons\""
+    in
+    if reasons = [] then fail "no recognizable sampling reason";
+    let root =
+      match List.assoc_opt "root" fs with
+      | Some (O rfs) -> span_of rfs
+      | Some _ -> fail "field \"root\" is not an object"
+      | None -> fail "missing field \"root\""
+    in
+    Ok
+      (make ~trace_id ~tenant:(int fs "tenant") ~app:(str fs "app")
+         ~window:(int fs "window") ~shard:(int fs "shard") ~outcome:(str fs "outcome")
+         ~latency_us:(num fs "lat_us") ~count:(int fs "count") ~reasons ~root)
+  with
+  | Parse msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let pp ppf t =
+  Format.fprintf ppf "%s tenant=%d app=%s window=%d shard=%d outcome=%s lat=%.1fus x%d [%s]"
+    (id_to_string t.trace_id) t.tenant t.app t.window t.shard t.outcome t.latency_us
+    t.count
+    (String.concat "," (List.map reason_to_string t.reasons))
+
+let pp_tree ppf t =
+  pp ppf t;
+  (* preorder numbering matches {!span_id}, so the rendered ids line up with
+     the Perfetto exporter's slice args *)
+  let next = ref 0 in
+  let rec go prefix is_last s =
+    let k = !next in
+    incr next;
+    Format.fprintf ppf "@\n%s%s %-24s @[%10.1fus %+12.1fus  %s@]" prefix
+      (if is_last then "└──" else "├──")
+      s.name s.start_us s.dur_us
+      (id_to_string (span_id ~trace_id:t.trace_id k));
+    let prefix = prefix ^ (if is_last then "    " else "│   ") in
+    let rec children = function
+      | [] -> ()
+      | [ c ] -> go prefix true c
+      | c :: rest ->
+        go prefix false c;
+        children rest
+    in
+    children s.children
+  in
+  go "" true t.root

@@ -30,6 +30,9 @@ type params = {
   windows : int;  (** SLO evaluation windows the modeled period splits into *)
   faults : Flo_faults.Fault_plan.t;
       (** fault plan baked into kernel compilation; empty = fault-free *)
+  trace : Tracer.params option;
+      (** request sampling; [None] (the default) compiles kernels without
+          profile collection and skips the tracing sweep entirely *)
 }
 
 let default_params ~mix =
@@ -46,6 +49,7 @@ let default_params ~mix =
     sample = 8;
     windows = 1;
     faults = Flo_faults.Fault_plan.empty;
+    trace = None;
   }
 
 let validate p =
@@ -62,13 +66,16 @@ let validate p =
   let* () = if p.noisy_boost >= 1. then Ok () else Error "noisy boost must be >= 1" in
   let* () = if p.sample >= 1 then Ok () else Error "sample must be positive" in
   let* () = if p.windows >= 1 then Ok () else Error "windows must be positive" in
+  let* () = match p.trace with None -> Ok () | Some tp -> Tracer.validate tp in
   Arrivals.validate p.process
 
-(* per-tenant substream purposes; keep the stride if adding one *)
+(* per-tenant substream purposes; the stride is full — widen it if adding
+   another purpose *)
 let streams_per_tenant = 4
 let stream_layout t = (t * streams_per_tenant) + 0
 let stream_arrivals t = (t * streams_per_tenant) + 1
 let stream_apps t = (t * streams_per_tenant) + 2
+let stream_trace t = (t * streams_per_tenant) + 3
 
 type tenant_stats = {
   tenant : int;
@@ -100,6 +107,8 @@ type result = {
   shards : shard_stats array;
   tenants_stats : tenant_stats array;  (** indexed by tenant id *)
   kernels : (Kernel.t * Kernel.t) array;  (** per rank: (default, inter) *)
+  agg_hist : Flo_obs.Histogram.t;
+  traces : Flo_obs.Trace.t list;
   total_jobs : int;
   total_requests : int;
   offered_rps : float;  (** modeled requests per modeled second *)
@@ -125,7 +134,8 @@ let compile_kernels ?jobs ~config p =
   let compiled =
     Parallel.map ?jobs
       (fun (app, mode) ->
-        Kernel.compile ~sample:p.sample ~faults:p.faults ~config ~mode app)
+        Kernel.compile ~sample:p.sample ~faults:p.faults ~profile:(p.trace <> None)
+          ~config ~mode app)
       tasks
   in
   let n = Array.length ranked in
@@ -290,6 +300,23 @@ let simulate ?jobs ?metrics ~config p =
               (stats, hist))
             plans
         in
+        (* the tracing sweep observes the replay (same plans, same order):
+           it adds exemplars to the tenant histograms — which then ride the
+           shard-order merges below — but never a count, so every modeled
+           number is byte-identical with tracing on or off *)
+        let shard_traces =
+          match p.trace with
+          | None -> []
+          | Some tp ->
+            List.map2
+              (fun pl (_, hist) ->
+                Tracer.trace_tenant ~t:tp ~seed:p.seed
+                  ~stream:(stream_trace pl.pl_tenant) ~tenant:pl.pl_tenant ~shard
+                  ~optimized:pl.pl_optimized ~win_len_us ~multipliers ~kernels
+                  ~window_jobs:pl.pl_window_jobs ~hist)
+              plans per_tenant
+            |> List.concat
+        in
         let shard_jobs = List.fold_left (fun a (s, _) -> a + s.jobs) 0 per_tenant in
         let shard_requests =
           List.fold_left (fun a (s, _) -> a + s.requests) 0 per_tenant
@@ -305,21 +332,27 @@ let simulate ?jobs ?metrics ~config p =
             window_multipliers = multipliers;
           },
           List.map fst per_tenant,
-          shard_hist ))
+          shard_hist,
+          shard_traces ))
       (Array.init shards_n Fun.id)
   in
   let wall_s = Unix.gettimeofday () -. t0 in
-  let shards = Array.map (fun (s, _, _) -> s) shard_results in
+  let shards = Array.map (fun (s, _, _, _) -> s) shard_results in
   let tenants_stats = Array.make p.tenants None in
   Array.iter
-    (fun (_, stats, _) ->
+    (fun (_, stats, _, _) ->
       List.iter (fun s -> tenants_stats.(s.tenant) <- Some s) stats)
     shard_results;
   let tenants_stats =
     Array.map (function Some s -> s | None -> assert false) tenants_stats
   in
   let agg_hist =
-    hist_merge_list (Array.to_list (Array.map (fun (_, _, h) -> h) shard_results))
+    hist_merge_list (Array.to_list (Array.map (fun (_, _, h, _) -> h) shard_results))
+  in
+  (* sampled traces merge in shard order, like the histograms — the list is
+     identical at every jobs value *)
+  let traces =
+    List.concat_map (fun (_, _, _, ts) -> ts) (Array.to_list shard_results)
   in
   let total_jobs = Array.fold_left (fun a s -> a + s.shard_jobs) 0 shards in
   let total_requests = Array.fold_left (fun a s -> a + s.shard_requests) 0 shards in
@@ -376,6 +409,8 @@ let simulate ?jobs ?metrics ~config p =
     shards;
     tenants_stats;
     kernels;
+    agg_hist;
+    traces;
     total_jobs;
     total_requests;
     offered_rps = float_of_int total_requests /. p.duration_s;

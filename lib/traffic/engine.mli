@@ -31,12 +31,17 @@ type params = {
           reach the latency classes and failed reads are counted per job
           ({!Kernel.t.errors_per_job}); the empty plan is byte-identical to
           a fault-free run *)
+  trace : Tracer.params option;
+      (** request-level sampled tracing ({!Tracer}); [None] (the default)
+          skips profile collection and the tracing sweep entirely — every
+          modeled number is byte-identical either way, tracing only {e adds}
+          [result.traces] and histogram exemplars *)
 }
 
 val default_params : mix:App.t list -> params
 (** 64 tenants, seed 42, 10 modeled seconds at 2 jobs/s, zipf-s 1.1,
     opt-share 0.5, no noisy tenant, Poisson arrivals, sample 8, a single
-    window, no faults. *)
+    window, no faults, no tracing. *)
 
 val validate : params -> (unit, string) result
 
@@ -72,6 +77,14 @@ type result = {
   shards : shard_stats array;
   tenants_stats : tenant_stats array;  (** indexed by tenant id *)
   kernels : (Kernel.t * Kernel.t) array;  (** per rank: (default, inter) *)
+  agg_hist : Flo_obs.Histogram.t;
+      (** the fleet latency histogram behind [agg_p50_us]/[agg_p99_us];
+          under tracing it carries the exemplars that link percentile lines
+          to sampled traces *)
+  traces : Flo_obs.Trace.t list;
+      (** sampled request traces, merged in shard order (then tenant, then
+          replay order within a tenant) — identical at every [jobs] value;
+          [[]] when [params.trace] is [None] *)
   total_jobs : int;
   total_requests : int;
   offered_rps : float;  (** modeled requests per modeled second *)

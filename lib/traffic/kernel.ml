@@ -17,6 +17,14 @@ let mode_to_string = function Default -> "default" | Inter -> "inter"
 
 type cls = { latency_us : float; weight : float }
 
+type step = { step_name : string; step_us : float }
+
+type profile = {
+  rep_latency_us : float;
+  rep_steps : step list;
+  faulty : int;
+}
+
 type t = {
   app : string;
   mode : mode;
@@ -26,6 +34,9 @@ type t = {
   elapsed_us_per_job : float;  (** modeled makespan of one run *)
   errors_per_job : int;  (** failed disk-read attempts one run suffers *)
   classes : cls array;  (** per-request latency distribution; weights sum to 1 *)
+  profiles : profile option array;
+      (** per-class representative breakdowns, aligned with [classes];
+          [[||]] when compiled without [~profile] *)
 }
 
 let classes_of_histogram h =
@@ -48,7 +59,138 @@ let classes_of_histogram h =
     Array.of_list (List.rev !acc)
   end
 
-let compile ?(sample = 1) ?(faults = Flo_faults.Fault_plan.empty) ~config ~mode app =
+(* Per-request breakdown capture for tracing, attached only under
+   [~profile:true].  The collector replays the hierarchy's cost arithmetic
+   from the event stream — the {e same} IEEE additions in the {e same}
+   order ([access] in hierarchy.ml: l1 round trip, then the L2 hop on an L1
+   miss, then the disk phase's extra+service chain, then per-prefetch
+   transfer charges) — so each reconstructed latency lands in exactly the
+   bucket the run's request_latency_us histogram counted it in, and the
+   per-class breakdowns line up with [classes] by construction. *)
+
+type open_req = {
+  mutable cost : float;
+  mutable steps_rev : step list;
+  mutable service : float;  (** disk-phase accumulator, folded in event order *)
+  mutable in_service : bool;
+  mutable flushed : bool;  (** service already folded into [cost] *)
+  mutable faulty : bool;
+}
+
+let profile_collector ~(costs : Flo_storage.Hierarchy.costs) ~prefetch_charge_us ~shape
+    =
+  let open_reqs : (int, open_req) Hashtbl.t = Hashtbl.create 64 in
+  let buckets = Array.make (Flo_obs.Histogram.bucket_count shape) None in
+  let flush_service r =
+    if r.in_service && not r.flushed then begin
+      r.cost <- r.cost +. r.service;
+      r.flushed <- true
+    end
+  in
+  let finalize r =
+    flush_service r;
+    let i = Flo_obs.Histogram.value_index shape r.cost in
+    let faulty = if r.faulty then 1 else 0 in
+    buckets.(i) <-
+      (match buckets.(i) with
+      | None ->
+        Some { rep_latency_us = r.cost; rep_steps = List.rev r.steps_rev; faulty }
+      | Some p ->
+        (* the class representative is the max-latency request; ties keep
+           the first seen, so the choice is stable in replay order *)
+        Some
+          (if r.cost > p.rep_latency_us then
+             {
+               rep_latency_us = r.cost;
+               rep_steps = List.rev r.steps_rev;
+               faulty = p.faulty + faulty;
+             }
+           else { p with faulty = p.faulty + faulty }))
+  in
+  let feed (e : Flo_obs.Event.t) =
+    let thread = e.Flo_obs.Event.thread in
+    match e.Flo_obs.Event.kind with
+    | Flo_obs.Event.Access ->
+      (match Hashtbl.find_opt open_reqs thread with
+      | Some r ->
+        finalize r;
+        Hashtbl.remove open_reqs thread
+      | None -> ());
+      Hashtbl.add open_reqs thread
+        {
+          cost = costs.Flo_storage.Hierarchy.l1_hit_us;
+          steps_rev = [];
+          service = 0.;
+          in_service = false;
+          flushed = false;
+          faulty = false;
+        }
+    | kind -> (
+      match Hashtbl.find_opt open_reqs thread with
+      | None -> ()  (* install/eviction noise outside any open request *)
+      | Some r ->
+        let step name us = r.steps_rev <- { step_name = name; step_us = us } :: r.steps_rev in
+        let lat = e.Flo_obs.Event.latency_us in
+        (match (kind, e.Flo_obs.Event.layer) with
+        | Flo_obs.Event.Hit, Flo_obs.Event.L1 ->
+          step "l1.hit" costs.Flo_storage.Hierarchy.l1_hit_us
+        | Flo_obs.Event.Miss, Flo_obs.Event.L1 ->
+          step "l1.miss" costs.Flo_storage.Hierarchy.l1_hit_us;
+          r.cost <- r.cost +. costs.Flo_storage.Hierarchy.l2_hit_us
+        | Flo_obs.Event.Hit, Flo_obs.Event.L2 ->
+          step "l2.hit" costs.Flo_storage.Hierarchy.l2_hit_us
+        | Flo_obs.Event.Miss, Flo_obs.Event.L2 ->
+          step "l2.miss" costs.Flo_storage.Hierarchy.l2_hit_us;
+          r.in_service <- true
+        | Flo_obs.Event.Disk_read, _ ->
+          step "disk.read" lat;
+          r.service <- r.service +. lat
+        | Flo_obs.Event.Fault, _ ->
+          step "disk.fault" lat;
+          r.service <- r.service +. lat;
+          r.faulty <- true
+        | Flo_obs.Event.Retry, _ ->
+          step "disk.retry" lat;
+          r.service <- r.service +. lat;
+          r.faulty <- true
+        | Flo_obs.Event.Timeout, _ ->
+          step "disk.timeout" 0.;
+          r.faulty <- true
+        | Flo_obs.Event.Failover, _ ->
+          step "disk.failover" lat;
+          r.service <- r.service +. lat;
+          r.faulty <- true
+        | Flo_obs.Event.Prefetch, _ ->
+          (* readahead transfer shares are charged after the disk phase *)
+          flush_service r;
+          step "l2.prefetch" prefetch_charge_us;
+          r.cost <- r.cost +. prefetch_charge_us
+        | ( ( Flo_obs.Event.Access | Flo_obs.Event.Evict | Flo_obs.Event.Demote
+            | Flo_obs.Event.Other _ ),
+            _ )
+        | (Flo_obs.Event.Hit | Flo_obs.Event.Miss), Flo_obs.Event.Disk ->
+          ()))
+  in
+  let flush () =
+    (* finalize still-open tail requests in thread order — Hashtbl order is
+       seed-dependent, replay order is not *)
+    Hashtbl.fold (fun thread r acc -> (thread, r) :: acc) open_reqs []
+    |> List.sort compare
+    |> List.iter (fun (_, r) -> finalize r);
+    Hashtbl.reset open_reqs
+  in
+  ({ Flo_obs.Sink.emit = feed; flush }, buckets)
+
+(* align captured buckets with {!classes_of_histogram}'s nonzero-bucket
+   order, so [profiles.(i)] describes [classes.(i)] *)
+let profiles_of_buckets h buckets =
+  let counts = Flo_obs.Histogram.counts h in
+  let acc = ref [] in
+  Array.iteri (fun i n -> if n > 0 then acc := buckets.(i) :: !acc) counts;
+  Array.of_list (List.rev !acc)
+
+let compile ?(sample = 1) ?(faults = Flo_faults.Fault_plan.empty) ?(profile = false)
+    ~config ~mode app =
   let layouts =
     match mode with
     | Default -> Experiment.default_layouts app
@@ -67,7 +209,23 @@ let compile ?(sample = 1) ?(faults = Flo_faults.Fault_plan.empty) ~config ~mode 
            ~storage_nodes:config.Config.topology.Flo_storage.Topology.storage_nodes
            faults)
   in
-  let r = Run.run ?faults:injector ~sample ~metrics:registry ~config ~layouts app in
+  (* the untraced path passes no sink at all: byte-identical to before the
+     tracing layer existed, and the hierarchy skips event construction *)
+  let collector =
+    if not profile then None
+    else begin
+      let shape = Flo_obs.Histogram.create () in
+      let prefetch_charge_us =
+        0.2 *. config.Config.disk_params.Flo_storage.Disk.transfer_us
+      in
+      let sink, buckets =
+        profile_collector ~costs:config.Config.costs ~prefetch_charge_us ~shape
+      in
+      Some (sink, buckets, shape)
+    end
+  in
+  let sink = Option.map (fun (s, _, _) -> s) collector in
+  let r = Run.run ?faults:injector ?sink ~sample ~metrics:registry ~config ~layouts app in
   let errors_per_job =
     match injector with
     | None -> 0
@@ -76,6 +234,12 @@ let compile ?(sample = 1) ?(faults = Flo_faults.Fault_plan.empty) ~config ~mode 
   let h = Flo_obs.Metrics.find_histogram registry "request_latency_us" in
   let classes = match h with Some h -> classes_of_histogram h | None -> [||] in
   let demand_us_per_job = match h with Some h -> Flo_obs.Histogram.sum h | None -> 0. in
+  let profiles =
+    match (collector, h) with
+    | Some (_, buckets, shape), Some h when Flo_obs.Histogram.same_shape shape h ->
+      profiles_of_buckets h buckets
+    | _ -> [||]
+  in
   {
     app = app.App.name;
     mode;
@@ -85,6 +249,7 @@ let compile ?(sample = 1) ?(faults = Flo_faults.Fault_plan.empty) ~config ~mode 
     elapsed_us_per_job = r.Run.elapsed_us;
     errors_per_job;
     classes;
+    profiles;
   }
 
 (* Apportion [requests] across the latency classes by largest remainder —

@@ -12,6 +12,19 @@ val mode_to_string : mode -> string
 
 type cls = { latency_us : float; weight : float }
 
+type step = { step_name : string; step_us : float }
+(** One charged stage of a request's modeled cost — ["l1.miss"],
+    ["disk.retry"], … — in causal order; durations sum to the request's
+    reconstructed latency. *)
+
+type profile = {
+  rep_latency_us : float;
+      (** the representative (max-latency, first on ties) request of the
+          class, reconstructed with the hierarchy's exact cost arithmetic *)
+  rep_steps : step list;  (** that request's breakdown, causal order *)
+  faulty : int;  (** requests of this class that hit the fault path *)
+}
+
 type t = {
   app : string;
   mode : mode;
@@ -28,17 +41,26 @@ type t = {
   classes : cls array;
       (** per-request latency distribution (weights sum to 1); empty only
           when the run issued no block requests *)
+  profiles : profile option array;
+      (** per-class representative breakdowns, index-aligned with
+          [classes]; [[||]] when compiled without [~profile], so the traced
+          and untraced kernels differ only in this observational field *)
 }
 
 val compile :
-  ?sample:int -> ?faults:Flo_faults.Fault_plan.t ->
+  ?sample:int -> ?faults:Flo_faults.Fault_plan.t -> ?profile:bool ->
   config:Flo_engine.Config.t -> mode:mode -> Flo_workloads.App.t -> t
 (** One metrics-attached [Run.run] under the chosen layouts; [sample]
     forwards the simulator's profile-mode sampling factor.  A non-empty
     [faults] plan compiles a fresh seeded injector for the run: retry and
     backoff latencies land in the latency classes (they are charged to the
     modeled clocks) and the failed-read count lands in [errors_per_job] —
-    an empty plan is byte-identical to compiling without one. *)
+    an empty plan is byte-identical to compiling without one.
+    [profile:true] (default false) additionally attaches an event collector
+    that distills per-class representative breakdowns into [profiles] for
+    the tracing layer; it observes the run without perturbing any modeled
+    quantity, and the default leaves the run sink-free — provably
+    zero-overhead when tracing is off. *)
 
 val apportion : t -> requests:int -> int array
 (** Split [requests] across [classes] by largest remainder: deterministic,

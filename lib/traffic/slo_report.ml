@@ -73,6 +73,15 @@ let summary ?max_rows (r : Engine.result) (e : Slo_eval.t) =
               row.Slo_eval.verdict)
           (e.Slo_eval.cohort_rows @ [ e.Slo_eval.fleet ])));
   Buffer.add_string b "\n";
+  (* the symptom→cause link: a burning fleet p99 names concrete traces *)
+  if Flo_obs.Histogram.has_exemplars r.Engine.agg_hist then
+    Buffer.add_string b
+      (Printf.sprintf "fleet p99 exemplar traces: %s (resolve with `flopt trace`)\n"
+         (String.concat ","
+            (List.map
+               (fun (x : Flo_obs.Histogram.exemplar) ->
+                 Flo_obs.Trace.id_to_string x.Flo_obs.Histogram.trace_id)
+               (Flo_obs.Histogram.exemplars_at r.Engine.agg_hist ~p:0.99))));
   Buffer.contents b
 
 let verdict_line (r : Engine.result) (e : Slo_eval.t) =

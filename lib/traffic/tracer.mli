@@ -1,0 +1,54 @@
+(** Deterministic request sampling for the traffic engine.
+
+    The engine replays a tenant's jobs as O(latency classes) batched
+    histogram updates; the tracer walks the {e same} apportioned counts in
+    the {e same} order and decides, per request sequence number, which
+    requests materialize a {!Flo_obs.Trace.t} span tree:
+
+    - {b head sampling} — every [sample_rate]-th request of a tenant (by its
+      replay sequence number), one trace per sampled request;
+    - {b tail sampling} — every (window, rank, class) group whose requests
+      hit the fault path, cross [breach_us], or form the max-latency group
+      of their (tenant, window) is kept as one {e group} trace whose [count]
+      is the whole group — so every fault/timeout request in a run is
+      covered by some sampled trace, by construction.
+
+    Trace ids are minted from the tenant's splitmix64 tracing substream at
+    counter [2*seq] (head) or [2*seq + 1] (group at its first sequence
+    number), so ids never collide and are a pure function of (seed, tenant,
+    replay position): output is byte-identical at every [--jobs].  Every
+    emitted trace also lands as a histogram exemplar, which is how
+    [slo_report]'s p99 lines link to concrete traces. *)
+
+type params = {
+  sample_rate : int;  (** head sampling: 1 trace per N requests per tenant *)
+  breach_us : float;  (** tail sampling: keep classes slower than this *)
+  exemplar_cap : int;  (** exemplars kept per histogram bucket *)
+}
+
+val default : params
+(** [sample_rate 65536], [breach_us 1e6] (only the extreme tail),
+    [exemplar_cap 2]. *)
+
+val validate : params -> (unit, string) result
+
+val trace_tenant :
+  t:params ->
+  seed:int ->
+  stream:int ->
+  tenant:int ->
+  shard:int ->
+  optimized:bool ->
+  win_len_us:float ->
+  multipliers:float array ->
+  kernels:(Kernel.t * Kernel.t) array ->
+  window_jobs:int array array ->
+  hist:Flo_obs.Histogram.t ->
+  Flo_obs.Trace.t list
+(** Sample one tenant's replay.  [window_jobs], [multipliers] and [kernels]
+    must be exactly what {!Engine}'s replay consumed, and [hist] the
+    tenant's latency histogram: each emitted trace's latency is the same
+    float expression the replay recorded, so the exemplar attached here
+    lands in the bucket that counted the request.  Traces come back in
+    replay order (window, rank, class ascending).  Pure observation: [hist]
+    gains exemplars, never observations. *)

@@ -123,6 +123,15 @@ let summary ?max_rows (r : Engine.result) =
   Buffer.add_string b
     (Printf.sprintf "optimized-vs-default p50 advantage: %s\n"
        (opt_pct r.Engine.opt_p50_advantage_pct));
+  (* only traced runs carry exemplars, so untraced reports are unchanged *)
+  if Flo_obs.Histogram.has_exemplars r.Engine.agg_hist then
+    Buffer.add_string b
+      (Printf.sprintf "p99 exemplar traces: %s (resolve with `flopt trace`)\n"
+         (String.concat ","
+            (List.map
+               (fun (e : Flo_obs.Histogram.exemplar) ->
+                 Flo_obs.Trace.id_to_string e.Flo_obs.Histogram.trace_id)
+               (Flo_obs.Histogram.exemplars_at r.Engine.agg_hist ~p:0.99))));
   Buffer.contents b
 
 let wall_line (r : Engine.result) =

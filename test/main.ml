@@ -15,4 +15,5 @@ let () =
       ("fidelity", Test_fidelity.suite);
       ("bench", Test_bench.suite);
       ("traffic", Test_traffic.suite);
+      ("trace", Test_trace.suite);
     ]

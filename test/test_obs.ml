@@ -305,10 +305,17 @@ let test_event_json_parse () =
       | Error _ -> ())
     [
       ""; "[]"; "{"; {|{"t_us":1}|};
-      {|{"t_us":1,"kind":"warp","layer":"l1","node":0,"thread":0,"file":0,"block":0}|};
       {|{"t_us":1,"kind":"hit","layer":"l9","node":0,"thread":0,"file":0,"block":0}|};
       {|{"t_us":1,"kind":"hit","layer":"l1","node":0,"thread":0,"file":0,"block":0} x|};
-    ]
+    ];
+  (* an unknown kind is NOT malformed: it round-trips as an opaque record
+     (forward compat with event kinds from newer builds) *)
+  match
+    Event.of_json
+      {|{"t_us":1,"kind":"warp","layer":"l1","node":0,"thread":0,"file":0,"block":0}|}
+  with
+  | Ok e -> checkb "unknown kind wraps in Other" true (e.Event.kind = Event.Other "warp")
+  | Error msg -> Alcotest.failf "unknown kind rejected: %s" msg
 
 (* floats as eighths so the %.3f wire format round-trips exactly *)
 let event_arb =
