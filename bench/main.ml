@@ -795,11 +795,66 @@ let json_mode args =
         ~value:(traced_wall /. Float.max 1e-9 traffic_wall) ~unit_:"x";
     ]
   in
+  let sim_metrics =
+    (* ungated simulation-kernel numbers: closed-loop block-request
+       throughput (client buffers + hierarchy + disks, streams
+       pregenerated) of the devirtualized Flat_lru kernel against the
+       retained closure reference (Lru.reference through the generic
+       dispatch path).  Both kernels must agree on the modeled elapsed
+       time — the golden suite pins full result identity — so any
+       divergence aborts the bench. *)
+    Printf.eprintf "bench json: simulation kernel...\n%!";
+    let timings =
+      List.concat_map
+        (fun app ->
+          List.map
+            (fun layouts ->
+              let p = Kernel_bench.prepare ~config ~layouts ~sample app in
+              let fast = Kernel_bench.time Kernel_bench.Fast p in
+              let refr = Kernel_bench.time Kernel_bench.Reference p in
+              if fast.Kernel_bench.elapsed_us <> refr.Kernel_bench.elapsed_us
+              then begin
+                Printf.eprintf
+                  "bench json: sim kernels disagree on %s: fast %.17g us, ref %.17g us\n"
+                  app.App.name fast.Kernel_bench.elapsed_us
+                  refr.Kernel_bench.elapsed_us;
+                exit 2
+              end;
+              (fast, refr))
+            [ Experiment.default_layouts app; Experiment.inter_layouts config app ])
+        selected
+    in
+    let fast_wall =
+      List.fold_left (fun a (f, _) -> a +. f.Kernel_bench.wall_s) 0. timings
+    in
+    let ref_wall =
+      List.fold_left (fun a (_, r) -> a +. r.Kernel_bench.wall_s) 0. timings
+    in
+    let requests =
+      List.fold_left (fun a (f, _) -> a + f.Kernel_bench.block_requests) 0 timings
+    in
+    Printf.eprintf "bench json: sim kernel modeled numbers identical to reference\n%!";
+    let m ~name ~value ~unit_ =
+      { Bench_schema.app = "_sim"; name; value; unit_; gated = false }
+    in
+    [
+      m ~name:"blocks_per_sec"
+        ~value:(float_of_int requests /. Float.max 1e-9 fast_wall)
+        ~unit_:"req/s";
+      m ~name:"suite_wall_s" ~value:fast_wall ~unit_:"s";
+      m ~name:"reference_blocks_per_sec"
+        ~value:(float_of_int requests /. Float.max 1e-9 ref_wall)
+        ~unit_:"req/s";
+      m ~name:"speedup_vs_reference"
+        ~value:(ref_wall /. Float.max 1e-9 fast_wall)
+        ~unit_:"x";
+    ]
+  in
   let manifest =
     { manifest with
       Bench_schema.metrics =
         manifest.Bench_schema.metrics @ suite_metrics @ traffic_metrics
-        @ trace_metrics }
+        @ trace_metrics @ sim_metrics }
   in
   (match Bench_schema.validate manifest with
   | Ok () -> ()

@@ -32,39 +32,62 @@ let l2_miss_per_element r =
 
 let karma_hints_of_streams ~io_of_thread ~io_nodes weighted_streams =
   let hints = Array.make io_nodes [] in
+  (* Flat per-file range accumulators, sized once to the largest file id in
+     any stream.  Each thread's contribution fills (lo, hi, cnt) in one pass
+     over its packed-int blocks, then a single downward sweep emits hints
+     and zeroes cnt — no per-stream Hashtbl, no sort.  Walking files
+     downward and consing yields hints ascending by file within the
+     contribution, byte-identical to the reference sort-descending fold
+     (files are unique per contribution, so (file, lo_block) order is file
+     order).  [test_engine] pins the order; a qcheck regression test checks
+     equality against the reference implementation. *)
+  let max_file =
+    List.fold_left
+      (fun acc (_, streams) ->
+        Array.fold_left
+          (fun acc blocks ->
+            Array.fold_left (fun acc b -> max acc (Block.file b)) acc blocks)
+          acc streams)
+      (-1) weighted_streams
+  in
+  let lo = Array.make (max_file + 1) 0 in
+  let hi = Array.make (max_file + 1) 0 in
+  let cnt = Array.make (max_file + 1) 0 in
   List.iter
     (fun (weight, streams) ->
       Array.iteri
         (fun thread blocks ->
           if Array.length blocks > 0 then begin
             (* one range per file touched by this thread in this nest *)
-            let per_file = Hashtbl.create 4 in
             Array.iter
               (fun b ->
                 let file = Block.file b and idx = Block.index b in
-                match Hashtbl.find_opt per_file file with
-                | None -> Hashtbl.replace per_file file (idx, idx, 1)
-                | Some (lo, hi, n) ->
-                  Hashtbl.replace per_file file (min lo idx, max hi idx, n + 1))
+                if cnt.(file) = 0 then begin
+                  lo.(file) <- idx;
+                  hi.(file) <- idx;
+                  cnt.(file) <- 1
+                end
+                else begin
+                  if idx < lo.(file) then lo.(file) <- idx;
+                  if idx > hi.(file) then hi.(file) <- idx;
+                  cnt.(file) <- cnt.(file) + 1
+                end)
               blocks;
             let io = io_of_thread thread in
-            (* Hashtbl.iter order is unspecified and varies with the hash
-               seed; sort so the hint list (and thus Karma's partition of
-               ties) is deterministic.  Descending fold + cons = hints
-               ascending by (file, lo_block) within this contribution. *)
-            Hashtbl.fold (fun file range acc -> (file, range) :: acc) per_file []
-            |> List.sort (fun (fa, (la, _, _)) (fb, (lb, _, _)) ->
-                   compare (fb, lb) (fa, la))
-            |> List.iter (fun (file, (lo, hi, n)) ->
-                   let hint =
-                     {
-                       Karma.file;
-                       lo_block = lo;
-                       hi_block = hi;
-                       accesses = float_of_int (n * weight);
-                     }
-                   in
-                   hints.(io) <- hint :: hints.(io))
+            for file = max_file downto 0 do
+              if cnt.(file) > 0 then begin
+                let hint =
+                  {
+                    Karma.file;
+                    lo_block = lo.(file);
+                    hi_block = hi.(file);
+                    accesses = float_of_int (cnt.(file) * weight);
+                  }
+                in
+                hints.(io) <- hint :: hints.(io);
+                cnt.(file) <- 0
+              end
+            done
           end)
         streams)
     weighted_streams;
@@ -130,15 +153,18 @@ let run ?mapping ?(caching = Lru) ?assigns ?(sample = 1) ?(readahead = 0) ?sink 
   let block_requests = ref 0 in
   let iterations = ref 0 in
   let element_accesses = ref 0 in
-  (* per-thread MPI-IO data-sieving buffers (see Config.client_buffer_blocks) *)
+  (* per-thread MPI-IO data-sieving buffers (see Config.client_buffer_blocks),
+     on the flat allocation-free LRU kernel *)
   let buffers =
-    Array.init threads (fun _ -> Lru.create ~capacity:config.Config.client_buffer_blocks)
+    Array.init threads (fun _ ->
+        Flat_lru.create ~capacity:config.Config.client_buffer_blocks)
   in
-  let request thread b =
-    if buffers.(thread).Policy.touch b then
-      Hierarchy.add_cpu_us hier ~thread config.Config.client_hit_us
+  let client_hit_us = config.Config.client_hit_us in
+  let request thread (b : Block.t) =
+    if Flat_lru.touch buffers.(thread) (b :> int) then
+      Hierarchy.add_cpu_us hier ~thread client_hit_us
     else begin
-      ignore (buffers.(thread).Policy.insert b);
+      ignore (Flat_lru.insert buffers.(thread) (b :> int));
       incr block_requests;
       Hierarchy.access hier ~thread b
     end

@@ -1,21 +1,32 @@
-type t = { file : int; index : int }
+(* A block id is a single immediate int: [file] in the high bits, [index]
+   in the low bits.  Blocks are unboxed everywhere — streams are plain int
+   arrays, equality is one compare, hashing is the identity — which is what
+   lets the simulation kernel run allocation-free (see Flat_lru). *)
+
+type t = int
+
+let index_bits = 36
+let index_mask = (1 lsl index_bits) - 1
+let max_index = index_mask
+let max_file = (1 lsl (62 - index_bits)) - 1
 
 let make ~file ~index =
   if file < 0 || index < 0 then invalid_arg "Block.make: negative component";
-  { file; index }
+  if file > max_file || index > max_index then
+    invalid_arg "Block.make: component out of range";
+  (file lsl index_bits) lor index
 
-let file t = t.file
-let index t = t.index
+let file t = t lsr index_bits
+let index t = t land index_mask
+let to_int t = t
+let unsafe_of_int i = i
 
-let compare a b =
-  let c = compare a.file b.file in
-  if c <> 0 then c else compare a.index b.index
+(* file occupies the high bits, so int order is (file, index) order *)
+let compare (a : int) (b : int) = compare a b
+let equal (a : int) (b : int) = a = b
+let hash t = t
 
-let equal a b = a.file = b.file && a.index = b.index
-
-let hash t = (t.file * 0x3fffffff) lxor t.index
-
-let pp ppf t = Format.fprintf ppf "%d:%d" t.file t.index
+let pp ppf t = Format.fprintf ppf "%d:%d" (file t) (index t)
 
 let of_offset ~block_elems ~file off =
   if off < 0 then invalid_arg "Block.of_offset: negative offset";

@@ -100,4 +100,5 @@ let create ~capacity : Policy.t =
         s.hand <- 0;
         s.count <- 0);
     iter = (fun f -> Block.Tbl.iter (fun b _ -> f b) s.tbl);
+    fast = None;
   }

@@ -46,4 +46,5 @@ let create ~capacity : Policy.t =
         Block.Tbl.clear s.tbl;
         Queue.clear s.queue);
     iter = (fun f -> Block.Tbl.iter (fun b () -> f b) s.tbl);
+    fast = None;
   }

@@ -1,0 +1,212 @@
+(* LRU over preallocated int arrays: an intrusive recency list threaded
+   through prev/next slot indices plus an open-addressing key -> slot hash
+   (linear probing, backward-shift deletion, load factor <= 1/2).  No
+   [option], no boxing, no per-op allocation — every operation at steady
+   state touches only the arrays allocated in [create].
+
+   Eviction and tie order are bit-identical to the reference Dll+Hashtbl
+   implementation in [Lru.reference]: insert on a miss evicts the tail
+   first (when full), then links the new block at the head ([insert]) or
+   tail ([insert_cold]); insert on a resident block refreshes it and
+   evicts nothing.  [test/test_sim_kernel.ml] pins the law. *)
+
+type t = {
+  capacity : int;
+  key : int array; (* slot -> packed block, -1 when free *)
+  prev : int array; (* slot -> slot toward the head (MRU), -1 at head *)
+  next : int array; (* slot -> slot toward the tail (LRU), -1 at tail;
+                       also chains the free list *)
+  hkey : int array; (* probe index -> packed block, -1 when empty *)
+  hslot : int array; (* probe index -> slot, valid where hkey >= 0 *)
+  mask : int; (* Array.length hkey - 1 (power of two) *)
+  shift : int; (* 63 - log2 (Array.length hkey): Fibonacci bucket shift *)
+  mutable head : int;
+  mutable tail : int;
+  mutable free : int;
+  mutable size : int;
+}
+
+let nil = -1
+
+(* Fibonacci hashing: multiply by an odd 63-bit constant and keep the HIGH
+   bits of the product — every bit of the key (file and index alike)
+   influences the bucket, unlike a low-bit mask.  Internal only — no
+   modeled output depends on probe order. *)
+let home t k = (k * 0x2545_f491_4f6c_dd1d) lsr t.shift
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "cache capacity < 1";
+  let hsize =
+    let rec pow2 n = if n >= 2 * capacity then n else pow2 (n * 2) in
+    pow2 8
+  in
+  let t =
+    {
+      capacity;
+      key = Array.make capacity (-1);
+      prev = Array.make capacity (-1);
+      next = Array.init capacity (fun i -> if i + 1 < capacity then i + 1 else -1);
+      hkey = Array.make hsize (-1);
+      hslot = Array.make hsize 0;
+      mask = hsize - 1;
+      shift =
+        (let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+         63 - log2 hsize);
+      head = -1;
+      tail = -1;
+      free = 0;
+      size = 0;
+    }
+  in
+  t
+
+let capacity t = t.capacity
+let size t = t.size
+
+(* slot holding [k], or -1.  The table is never full (hsize >= 2*capacity),
+   so probing always reaches an empty bucket. *)
+let find t k =
+  let i = ref (home t k) in
+  let res = ref (-2) in
+  while !res = -2 do
+    let hk = t.hkey.(!i) in
+    if hk = k then res := t.hslot.(!i)
+    else if hk < 0 then res := -1
+    else i := (!i + 1) land t.mask
+  done;
+  !res
+
+let hadd t k slot =
+  let i = ref (home t k) in
+  while t.hkey.(!i) >= 0 do
+    i := (!i + 1) land t.mask
+  done;
+  t.hkey.(!i) <- k;
+  t.hslot.(!i) <- slot
+
+(* Backward-shift deletion (Knuth 6.4, algorithm R): no tombstones, so the
+   table never degrades and never needs a rehash. *)
+let hdel t k =
+  let i = ref (home t k) in
+  while t.hkey.(!i) <> k do
+    i := (!i + 1) land t.mask
+  done;
+  t.hkey.(!i) <- -1;
+  let free = ref !i and j = ref !i and scanning = ref true in
+  while !scanning do
+    j := (!j + 1) land t.mask;
+    let hk = t.hkey.(!j) in
+    if hk < 0 then scanning := false
+    else begin
+      let h = home t hk in
+      (* the entry at [j] may fill the hole iff its home lies cyclically at
+         or before the hole, i.e. the hole is on its probe path *)
+      if (!j - h) land t.mask >= (!j - !free) land t.mask then begin
+        t.hkey.(!free) <- hk;
+        t.hslot.(!free) <- t.hslot.(!j);
+        t.hkey.(!j) <- -1;
+        free := !j
+      end
+    end
+  done
+
+let unlink t slot =
+  let p = t.prev.(slot) and n = t.next.(slot) in
+  if p >= 0 then t.next.(p) <- n else t.head <- n;
+  if n >= 0 then t.prev.(n) <- p else t.tail <- p
+
+let push_front t slot =
+  t.prev.(slot) <- -1;
+  t.next.(slot) <- t.head;
+  if t.head >= 0 then t.prev.(t.head) <- slot else t.tail <- slot;
+  t.head <- slot
+
+let push_back t slot =
+  t.next.(slot) <- -1;
+  t.prev.(slot) <- t.tail;
+  if t.tail >= 0 then t.next.(t.tail) <- slot else t.head <- slot;
+  t.tail <- slot
+
+let release t slot =
+  t.key.(slot) <- -1;
+  t.next.(slot) <- t.free;
+  t.free <- slot;
+  t.size <- t.size - 1
+
+(* evict the LRU block; only called when size >= capacity >= 1 *)
+let evict t =
+  let slot = t.tail in
+  let k = t.key.(slot) in
+  unlink t slot;
+  hdel t k;
+  release t slot;
+  k
+
+let touch t k =
+  if k < 0 then invalid_arg "Flat_lru: negative key";
+  let slot = find t k in
+  if slot < 0 then false
+  else begin
+    if t.head <> slot then begin
+      unlink t slot;
+      push_front t slot
+    end;
+    true
+  end
+
+let add ~cold t k =
+  if k < 0 then invalid_arg "Flat_lru: negative key";
+  let slot = find t k in
+  if slot >= 0 then begin
+    if t.head <> slot then begin
+      unlink t slot;
+      push_front t slot
+    end;
+    nil
+  end
+  else begin
+    let victim = if t.size >= t.capacity then evict t else nil in
+    let slot = t.free in
+    t.free <- t.next.(slot);
+    t.key.(slot) <- k;
+    hadd t k slot;
+    if cold then push_back t slot else push_front t slot;
+    t.size <- t.size + 1;
+    victim
+  end
+
+let insert t k = add ~cold:false t k
+let insert_cold t k = add ~cold:true t k
+
+let remove t k =
+  if k < 0 then invalid_arg "Flat_lru: negative key";
+  let slot = find t k in
+  if slot < 0 then false
+  else begin
+    unlink t slot;
+    hdel t k;
+    release t slot;
+    true
+  end
+
+let contains t k =
+  if k < 0 then invalid_arg "Flat_lru: negative key";
+  find t k >= 0
+
+let clear t =
+  Array.fill t.key 0 t.capacity (-1);
+  Array.fill t.hkey 0 (t.mask + 1) (-1);
+  for i = 0 to t.capacity - 1 do
+    t.next.(i) <- (if i + 1 < t.capacity then i + 1 else -1)
+  done;
+  t.head <- -1;
+  t.tail <- -1;
+  t.free <- 0;
+  t.size <- 0
+
+let iter f t =
+  let slot = ref t.head in
+  while !slot >= 0 do
+    f t.key.(!slot);
+    slot := t.next.(!slot)
+  done

@@ -1,0 +1,47 @@
+(** Allocation-free LRU over preallocated int arrays.
+
+    The replacement state lives in fixed arrays sized at [create]: an
+    intrusive recency list threaded through prev/next slot indices, and an
+    open-addressing key → slot hash (linear probing with backward-shift
+    deletion, so there are no tombstones and never a rehash).  Keys are
+    packed {!Block.t} ints; "no victim" / "miss" results are the sentinel
+    {!nil} instead of an [option].  No operation allocates at steady state —
+    [test/test_sim_kernel.ml] asserts this with [Gc.minor_words].
+
+    Semantics — hit/miss results, eviction choice and tie order — are
+    bit-identical to the closure-based reference implementation
+    ({!Lru.reference}, Dll + Hashtbl); a qcheck law in the test suite pins
+    the equivalence over arbitrary operation strings. *)
+
+type t
+
+val nil : int
+(** Sentinel (-1) returned by {!insert} / {!insert_cold} when nothing was
+    evicted.  Valid keys are non-negative, so [v >= 0] tests "victim". *)
+
+val create : capacity:int -> t
+(** @raise Invalid_argument when capacity < 1. *)
+
+val capacity : t -> int
+val size : t -> int
+
+val touch : t -> int -> bool
+(** Lookup; [true] on hit.  A hit moves the key to the MRU end. *)
+
+val insert : t -> int -> int
+(** Cache the key at the MRU end; returns the evicted LRU key or {!nil}.
+    Inserting a resident key refreshes it and evicts nothing. *)
+
+val insert_cold : t -> int -> int
+(** Like {!insert} but the key enters at the LRU end. *)
+
+val remove : t -> int -> bool
+(** Drop a key; [true] if it was resident. *)
+
+val contains : t -> int -> bool
+(** Lookup without refreshing. *)
+
+val clear : t -> unit
+
+val iter : (int -> unit) -> t -> unit
+(** MRU → LRU order, matching the reference [Dll.iter]. *)

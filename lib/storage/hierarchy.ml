@@ -4,6 +4,12 @@ type costs = { l1_hit_us : float; l2_hit_us : float; demote_us : float }
 
 let default_costs = { l1_hit_us = 25.; l2_hit_us = 140.; demote_us = 8. }
 
+(* The devirtualized hot path: when every cache is an exact LRU backed by
+   Flat_lru, no fault injector is attached and no event sink is listening,
+   [access] runs direct calls on these flat states — no closure record
+   indirection, no Block.Tbl hashing, no per-request allocation. *)
+type fast = { fl1 : Flat_lru.t array; fl2 : Flat_lru.t array }
+
 type t = {
   topo : Topology.t;
   protocol : protocol;
@@ -24,9 +30,19 @@ type t = {
   (* resolved once at creation so the hot path never consults the registry *)
   request_hist : Flo_obs.Histogram.t option;
   disk_hists : Flo_obs.Histogram.t option array;
+  (* thread -> I/O node, precomputed so [access] does not re-derive the
+     Topology lookups per request *)
+  io_tbl : int array;
+  (* per storage node, the overlapped-readahead transfer charge
+     0.2 *. transfer_us, hoisted out of the readahead loop (disk params
+     are immutable after creation, so the value is IEEE-identical) *)
+  ra_charge : float array;
   (* None guards the exact fault-free code path: with no injector every
      fault branch below is the unmodified original arithmetic *)
   faults : Flo_faults.Injector.t option;
+  (* Some when the fault-free, sink-less hot path may bypass the Policy
+     closures; resolved once at creation *)
+  fast : fast option;
 }
 
 let create ?(protocol = Inclusive) ?mapping ?l1 ?l2 ?l1_factory ?l2_factory
@@ -68,6 +84,19 @@ let create ?(protocol = Inclusive) ?mapping ?l1 ?l2 ?l1_factory ?l2_factory
       Array.init topo.Topology.storage_nodes (fun _ ->
           l2_factory ~capacity:topo.Topology.storage_cache_blocks)
   in
+  let disks =
+    Array.init topo.Topology.storage_nodes (fun _ -> Disk.create ?params:disk_params ())
+  in
+  let fast =
+    let flat (caches : Policy.t array) =
+      if Array.for_all (fun (c : Policy.t) -> c.Policy.fast <> None) caches then
+        Some (Array.map (fun (c : Policy.t) -> Option.get c.Policy.fast) caches)
+      else None
+    in
+    match (faults, flat l1, flat l2) with
+    | None, Some fl1, Some fl2 when Flo_obs.Sink.is_null sink -> Some { fl1; fl2 }
+    | _ -> None
+  in
   {
     topo;
     protocol;
@@ -76,8 +105,7 @@ let create ?(protocol = Inclusive) ?mapping ?l1 ?l2 ?l1_factory ?l2_factory
     l2;
     l1_stats = Array.init topo.Topology.io_nodes (fun _ -> Stats.create ());
     l2_stats = Array.init topo.Topology.storage_nodes (fun _ -> Stats.create ());
-    disks =
-      Array.init topo.Topology.storage_nodes (fun _ -> Disk.create ?params:disk_params ());
+    disks;
     costs;
     file_stride;
     readahead;
@@ -95,7 +123,12 @@ let create ?(protocol = Inclusive) ?mapping ?l1 ?l2 ?l1_factory ?l2_factory
                 ~labels:[ ("node", string_of_int i) ]
                 "disk_service_us")
             metrics);
+    io_tbl =
+      Array.init threads (fun th ->
+          Topology.io_of_compute topo (mapping.(th) mod topo.Topology.compute_nodes));
+    ra_charge = Array.map (fun d -> 0.2 *. (Disk.params d).Disk.transfer_us) disks;
     faults;
+    fast;
   }
 
 let topology t = t.topo
@@ -103,8 +136,7 @@ let topology t = t.topo
 let io_node_of_thread t thread =
   if thread < 0 || thread >= Array.length t.clocks then
     invalid_arg "Hierarchy: thread out of range";
-  Topology.io_of_compute t.topo
-    (t.mapping.(thread) mod t.topo.Topology.compute_nodes)
+  t.io_tbl.(thread)
 
 (* All events of one request carry the thread's clock at arrival: a trace
    orders requests on the simulated timeline without charging the request's
@@ -210,8 +242,10 @@ let faulty_disk_read t inj ~time_us ~thread ~sn ~lba b =
   in
   attempt 0 ~extra:0.
 
-let access t ~thread b =
-  let io = io_node_of_thread t thread in
+(* Generic path: Policy closures, event emission, fault injection.  Taken
+   whenever a non-LRU policy, a sink or an injector is attached. *)
+let access_generic t ~thread b =
+  let io = t.io_tbl.(thread) in
   let time_us = t.clocks.(thread) in
   let cost = ref t.costs.l1_hit_us in
   emit t ~time_us ~kind:Flo_obs.Event.Access ~layer:Flo_obs.Event.L1 ~node:io ~thread b;
@@ -276,7 +310,7 @@ let access t ~thread b =
          with the demand read, so only a fraction of the transfer is charged
          to the requesting thread. *)
       if t.readahead > 0 && l2_online then begin
-        let params = Disk.params t.disks.(sn) in
+        let charge = t.ra_charge.(sn) in
         for k = 1 to t.readahead do
           (* next stripe unit on this storage node *)
           let next =
@@ -290,7 +324,7 @@ let access t ~thread b =
             Hashtbl.replace t.speculative.(sn) next ();
             emit t ~time_us ~kind:Flo_obs.Event.Prefetch ~layer:Flo_obs.Event.L2 ~node:sn
               ~thread next;
-            cost := !cost +. (0.2 *. params.Disk.transfer_us);
+            cost := !cost +. charge;
             match t.l2.(sn).Policy.insert_cold next with
             | Some v -> record_l2_eviction t ~time_us ~thread ~sn v
             | None -> ()
@@ -316,6 +350,124 @@ let access t ~thread b =
   | Some h -> Flo_obs.Histogram.add h !cost
   | None -> ());
   t.clocks.(thread) <- t.clocks.(thread) +. !cost
+
+(* ---- devirtualized fast path ----------------------------------------
+
+   Mirrors [access_generic] operation for operation under the conditions
+   resolved at creation (no faults, null sink, every cache an exact LRU):
+   same Stats mutations, same speculative-table updates, and the same
+   left-associated float additions so modeled clocks are IEEE-byte-
+   identical.  Emit calls are dropped — the sink is null, so they were
+   no-ops.  The L1/L2 hit paths allocate nothing: costs flow through
+   unboxed local floats straight into the clocks array. *)
+
+let record_l2_eviction_fast t ~sn v =
+  Stats.record_eviction t.l2_stats.(sn);
+  Hashtbl.remove t.speculative.(sn) (Block.unsafe_of_int v)
+
+let install_l1_fast t f ~io ~thread b =
+  let v = Flat_lru.insert f.fl1.(io) (b : Block.t :> int) in
+  if v >= 0 then begin
+    Stats.record_eviction t.l1_stats.(io);
+    match t.protocol with
+    | Inclusive -> ()
+    | Demote_exclusive ->
+      let victim = Block.unsafe_of_int v in
+      let sn =
+        Striping.storage_node_of ~storage_nodes:t.topo.Topology.storage_nodes victim
+      in
+      Stats.record_demotion t.l2_stats.(sn);
+      t.clocks.(thread) <- t.clocks.(thread) +. t.costs.demote_us;
+      let v2 = Flat_lru.insert f.fl2.(sn) v in
+      if v2 >= 0 then record_l2_eviction_fast t ~sn v2
+  end
+
+let access_fast t f ~thread b =
+  let io = t.io_tbl.(thread) in
+  let bi = (b : Block.t :> int) in
+  if Flat_lru.touch f.fl1.(io) bi then begin
+    Stats.record_hit t.l1_stats.(io);
+    (match t.request_hist with
+    | Some h -> Flo_obs.Histogram.add h t.costs.l1_hit_us
+    | None -> ());
+    t.clocks.(thread) <- t.clocks.(thread) +. t.costs.l1_hit_us
+  end
+  else begin
+    Stats.record_miss t.l1_stats.(io);
+    let sn = Striping.storage_node_of ~storage_nodes:t.topo.Topology.storage_nodes b in
+    if Flat_lru.touch f.fl2.(sn) bi then begin
+      Stats.record_hit t.l2_stats.(sn);
+      if Hashtbl.mem t.speculative.(sn) b then begin
+        (* first demand touch of a readahead-inserted block *)
+        Hashtbl.remove t.speculative.(sn) b;
+        Stats.record_prefetch_hit t.l2_stats.(sn)
+      end;
+      (match t.protocol with
+      | Inclusive -> ()
+      | Demote_exclusive ->
+        (* the client caches it now: deprioritize rather than keep hot *)
+        ignore (Flat_lru.remove f.fl2.(sn) bi);
+        ignore (Flat_lru.insert_cold f.fl2.(sn) bi));
+      install_l1_fast t f ~io ~thread b;
+      let cost = t.costs.l1_hit_us +. t.costs.l2_hit_us in
+      (match t.request_hist with
+      | Some h -> Flo_obs.Histogram.add h cost
+      | None -> ());
+      t.clocks.(thread) <- t.clocks.(thread) +. cost
+    end
+    else begin
+      Stats.record_miss t.l2_stats.(sn);
+      (* a speculative entry for a block the cache no longer holds is stale *)
+      Hashtbl.remove t.speculative.(sn) b;
+      let lba =
+        Striping.lba_of ~storage_nodes:t.topo.Topology.storage_nodes
+          ~file_stride:t.file_stride b
+      in
+      let service = Disk.service t.disks.(sn) ~lba in
+      (match t.disk_hists.(sn) with
+      | Some h -> Flo_obs.Histogram.add h service
+      | None -> ());
+      let cost = ref (t.costs.l1_hit_us +. t.costs.l2_hit_us +. service) in
+      if t.readahead > 0 then begin
+        let charge = t.ra_charge.(sn) in
+        for k = 1 to t.readahead do
+          let next =
+            Block.make ~file:(Block.file b)
+              ~index:(Block.index b + (k * t.topo.Topology.storage_nodes))
+          in
+          if Block.index next / t.topo.Topology.storage_nodes < t.file_stride
+             && not (Flat_lru.contains f.fl2.(sn) (next :> int))
+          then begin
+            Stats.record_prefetch t.l2_stats.(sn);
+            Hashtbl.replace t.speculative.(sn) next ();
+            cost := !cost +. charge;
+            let v = Flat_lru.insert_cold f.fl2.(sn) (next :> int) in
+            if v >= 0 then record_l2_eviction_fast t ~sn v
+          end
+        done
+      end;
+      (match t.protocol with
+      | Inclusive ->
+        let v = Flat_lru.insert f.fl2.(sn) bi in
+        if v >= 0 then record_l2_eviction_fast t ~sn v
+      | Demote_exclusive ->
+        (* a block the client is about to cache enters at the cold end *)
+        let v = Flat_lru.insert_cold f.fl2.(sn) bi in
+        if v >= 0 then record_l2_eviction_fast t ~sn v);
+      install_l1_fast t f ~io ~thread b;
+      (match t.request_hist with
+      | Some h -> Flo_obs.Histogram.add h !cost
+      | None -> ());
+      t.clocks.(thread) <- t.clocks.(thread) +. !cost
+    end
+  end
+
+let access t ~thread b =
+  if thread < 0 || thread >= Array.length t.clocks then
+    invalid_arg "Hierarchy: thread out of range";
+  match t.fast with
+  | Some f -> access_fast t f ~thread b
+  | None -> access_generic t ~thread b
 
 let touch_element t ~thread ~file ~offset =
   access t ~thread

@@ -154,6 +154,7 @@ let partitioned_cache ~name global indices ~quota_of =
     size = (fun () -> fold (fun p acc -> acc + p.Policy.size ()) 0);
     clear = (fun () -> Hashtbl.iter (fun _ (p : Policy.t) -> p.Policy.clear ()) parts);
     iter = (fun f -> Hashtbl.iter (fun _ (p : Policy.t) -> p.Policy.iter f) parts);
+    fast = None;
   }
 
 let l1_cache plan ~io =

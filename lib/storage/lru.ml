@@ -1,3 +1,29 @@
+(* The production LRU wraps Flat_lru: the closures delegate to the flat
+   state and [fast = Some s] exposes it so Hierarchy can devirtualize.  The
+   original Dll+Hashtbl implementation survives below as [reference] — the
+   executable spec the flat kernel is golden-tested against (the
+   Tracegen.reference_streams pattern). *)
+
+let create ~capacity : Policy.t =
+  Policy.check_capacity capacity;
+  let s = Flat_lru.create ~capacity in
+  let victim v = if v < 0 then None else Some (Block.unsafe_of_int v) in
+  {
+    Policy.name = "lru";
+    capacity;
+    touch = (fun b -> Flat_lru.touch s (b :> int));
+    insert = (fun b -> victim (Flat_lru.insert s (b :> int)));
+    insert_cold = (fun b -> victim (Flat_lru.insert_cold s (b :> int)));
+    remove = (fun b -> Flat_lru.remove s (b :> int));
+    contains = (fun b -> Flat_lru.contains s (b :> int));
+    size = (fun () -> Flat_lru.size s);
+    clear = (fun () -> Flat_lru.clear s);
+    iter = (fun f -> Flat_lru.iter (fun k -> f (Block.unsafe_of_int k)) s);
+    fast = Some s;
+  }
+
+(* ---- reference implementation (pre-flat kernel), kept verbatim ---- *)
+
 type state = {
   capacity : int;
   tbl : Block.t Dll.node Block.Tbl.t;
@@ -37,7 +63,7 @@ let remove s b =
     Block.Tbl.remove s.tbl b;
     true
 
-let create ~capacity : Policy.t =
+let reference ~capacity : Policy.t =
   Policy.check_capacity capacity;
   let s = { capacity; tbl = Block.Tbl.create (2 * capacity); order = Dll.create () } in
   {
@@ -54,4 +80,5 @@ let create ~capacity : Policy.t =
         Block.Tbl.clear s.tbl;
         Dll.clear s.order);
     iter = (fun f -> Dll.iter f s.order);
+    fast = None;
   }

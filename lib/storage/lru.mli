@@ -1,7 +1,17 @@
 (** Least-recently-used replacement — the paper's default policy.
 
-    O(1) touch/insert/remove via a hash table over an intrusive
-    doubly-linked recency list.  [insert] places at the MRU end,
-    [insert_cold] at the LRU end. *)
+    O(1) touch/insert/remove.  [insert] places at the MRU end,
+    [insert_cold] at the LRU end.
+
+    {!create} is backed by the allocation-free {!Flat_lru} kernel and
+    populates {!Policy.t.fast} so {!Hierarchy} can devirtualize its hot
+    path.  {!reference} is the original closure implementation over a hash
+    table and an intrusive doubly-linked list ({!Dll}) — semantically
+    bit-identical, kept as the executable spec for golden-equality tests
+    and to exercise the generic dispatch path. *)
 
 val create : Policy.factory
+
+val reference : Policy.factory
+(** Pre-flat-kernel implementation; [fast = None], so hierarchies built
+    from it always take the generic closure path. *)

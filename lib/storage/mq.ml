@@ -157,6 +157,7 @@ let create_custom ~queues ~lifetime ~capacity : Policy.t =
         s.time <- 0;
         s.count <- 0);
     iter = (fun f -> Block.Tbl.iter (fun b _ -> f b) s.tbl);
+    fast = None;
   }
 
 let create ~capacity = create_custom ~queues:8 ~lifetime:None ~capacity

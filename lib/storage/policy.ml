@@ -9,6 +9,7 @@ type t = {
   size : unit -> int;
   clear : unit -> unit;
   iter : (Block.t -> unit) -> unit;
+  fast : Flat_lru.t option;
 }
 
 type factory = capacity:int -> t

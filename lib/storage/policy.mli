@@ -24,6 +24,12 @@ type t = {
   size : unit -> int;
   clear : unit -> unit;
   iter : (Block.t -> unit) -> unit;
+  fast : Flat_lru.t option;
+      (** The flat allocation-free state backing the closures, when the
+          policy is an exact LRU ({!Lru.create} populates it; every other
+          policy leaves [None]).  {!Hierarchy} resolves this once at
+          creation to devirtualize its hot path; the closures above must
+          view the same state, so both call paths stay interchangeable. *)
 }
 
 type factory = capacity:int -> t

@@ -7,6 +7,7 @@ let () =
       ("slo", Test_slo.suite);
       ("analysis", Test_analysis.suite);
       ("storage", Test_storage.suite);
+      ("sim-kernel", Test_sim_kernel.suite);
       ("core", Test_core.suite);
       ("workloads", Test_workloads.suite);
       ("engine", Test_engine.suite);
