@@ -850,11 +850,56 @@ let json_mode args =
         ~unit_:"x";
     ]
   in
+  let overload_metrics =
+    (* ungated overload-control numbers: a pinned read-error storm at ~8x
+       offered load with fail-fast shedding on.  Goodput and the accepted
+       cohort's p99 are the headline graceful-degradation trajectory; the
+       shed fraction gives them scale.  Long windows relative to the job
+       quantum (15 modeled s vs ~1.5 modeled s per job at sample 1024), so
+       the admission controller works at whole-job granularity without the
+       quantum dominating. *)
+    Printf.eprintf "bench json: overload control...\n%!";
+    let faults =
+      match Flo_faults.Fault_plan.of_string "read-error:rate=0.05" with
+      | Ok f -> f
+      | Error msg ->
+        Printf.eprintf "bench json: internal error: bad fault spec: %s\n" msg;
+        exit 2
+    in
+    let params =
+      { (Flo_traffic.Engine.default_params ~mix:selected) with
+        Flo_traffic.Engine.tenants = 16; duration_s = 60.; rate = 2.64;
+        windows = 4; sample = 1024; faults;
+        overload = Some Flo_traffic.Overload.default }
+    in
+    let t0 = Unix.gettimeofday () in
+    let result = Flo_traffic.Engine.simulate ~jobs ~config params in
+    let overload_wall = Unix.gettimeofday () -. t0 in
+    let ol =
+      match result.Flo_traffic.Engine.overload with
+      | Some ol -> ol
+      | None ->
+        Printf.eprintf "bench json: internal error: overload run lost its stats\n";
+        exit 2
+    in
+    let m ~name ~value ~unit_ =
+      { Bench_schema.app = "_overload"; name; value; unit_; gated = false }
+    in
+    [
+      m ~name:"goodput_rps" ~value:ol.Flo_traffic.Engine.ol_goodput_rps
+        ~unit_:"req/s";
+      m ~name:"shed_fraction" ~value:ol.Flo_traffic.Engine.ol_shed_fraction
+        ~unit_:"frac";
+      m ~name:"p99_accepted_us" ~value:result.Flo_traffic.Engine.agg_p99_us
+        ~unit_:"us";
+      m ~name:"overload_wall_s" ~value:overload_wall ~unit_:"s";
+    ]
+  in
   let manifest =
     { manifest with
       Bench_schema.metrics =
         manifest.Bench_schema.metrics @ suite_metrics @ traffic_metrics
-        @ trace_metrics @ sim_metrics }
+        @ trace_metrics @ sim_metrics @ overload_metrics }
   in
   (match Bench_schema.validate manifest with
   | Ok () -> ()

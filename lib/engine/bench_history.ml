@@ -242,14 +242,17 @@ let metrics_of_manifest (m : Bench_schema.t) =
   Option.iter (fun v -> add "suite_wall_s" v "s") (value_of "_suite" "suite_wall_s.seq");
   Option.iter (fun v -> add "modeled_rps" v "req/s") (value_of "_traffic" "modeled_rps");
   Option.iter (fun v -> add "slo_burn_rate" v "x") (value_of "_slo" "fleet_burn_rate");
+  Option.iter
+    (fun v -> add "overload_goodput_rps" v "req/s")
+    (value_of "_overload" "goodput_rps");
   List.rev !points
 
 (* -- trend page ----------------------------------------------------------
 
    Design notes (and the constraints they satisfy):
-   - four metrics of different scales -> small multiples, one single-series
+   - five metrics of different scales -> small multiples, one single-series
      chart each, never a dual axis;
-   - colors assigned in the palette's fixed categorical order (slots 1-4),
+   - colors assigned in the palette's fixed categorical order (slots 1-5),
      validated for both modes; panels are separate plots, so slot adjacency
      never shares an axis;
    - identity is never color-alone: each panel's title names its series and
@@ -265,6 +268,7 @@ let series_specs =
     ("suite_wall_s", "Bench suite wall time", "s", "s2");
     ("modeled_rps", "Traffic engine modeled RPS", "req/s", "s3");
     ("slo_burn_rate", "Fleet SLO burn rate", "x", "s4");
+    ("overload_goodput_rps", "Overload goodput under storm", "req/s", "s5");
   ]
 
 let html_escape s =
@@ -437,6 +441,7 @@ svg { width: 100%; height: auto; }
 .line.s2 { stroke: #eb6834; } .dot.s2 { fill: #eb6834; }
 .line.s3 { stroke: #1baf7a; } .dot.s3 { fill: #1baf7a; }
 .line.s4 { stroke: #eda100; } .dot.s4 { fill: #eda100; }
+.line.s5 { stroke: #8a5cd6; } .dot.s5 { fill: #8a5cd6; }
 table { border-collapse: collapse; margin-top: 2rem; }
 th, td { text-align: right; padding: .3rem .8rem; border-bottom: 1px solid #e7e6e2; }
 th:first-child, td:first-child { text-align: left; font-family: ui-monospace, monospace; }
@@ -452,6 +457,7 @@ thead th { color: #52514e; font-weight: 600; }
   .line.s2 { stroke: #d95926; } .dot.s2 { fill: #d95926; }
   .line.s3 { stroke: #199e70; } .dot.s3 { fill: #199e70; }
   .line.s4 { stroke: #c98500; } .dot.s4 { fill: #c98500; }
+  .line.s5 { stroke: #9a70e0; } .dot.s5 { fill: #9a70e0; }
   th, td { border-bottom-color: #383835; }
 }
 |css}

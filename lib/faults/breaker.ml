@@ -1,0 +1,118 @@
+(* Circuit breaker per storage node, clocked by the traffic engine's
+   modeled windows.  The state machine is pure — (spec, observation
+   sequence) fully determines the trajectory — so the overload subsystem
+   inherits the faults library's replay-exactness for free. *)
+
+type spec = {
+  open_rate : float;
+  close_rate : float;
+  cooldown_windows : int;
+  probe : float;
+  node : int option;
+}
+
+let default =
+  { open_rate = 0.1; close_rate = 0.02; cooldown_windows = 2; probe = 0.2; node = None }
+
+let validate s =
+  if not (s.open_rate > 0. && s.open_rate <= 1.) then
+    Error (Printf.sprintf "breaker: open must be in (0, 1] (got %g)" s.open_rate)
+  else if not (s.close_rate > 0. && s.close_rate <= s.open_rate) then
+    Error
+      (Printf.sprintf "breaker: close must be in (0, open] (got %g, open %g)"
+         s.close_rate s.open_rate)
+  else if s.cooldown_windows < 1 then
+    Error
+      (Printf.sprintf "breaker: cooldown must be at least one window (got %d)"
+         s.cooldown_windows)
+  else if not (s.probe > 0. && s.probe <= 1.) then
+    Error (Printf.sprintf "breaker: probe must be in (0, 1] (got %g)" s.probe)
+  else Ok ()
+
+let fstr = Printf.sprintf "%.12g"
+
+let to_string s =
+  Printf.sprintf "open=%s,close=%s,cooldown=%d,probe=%s%s" (fstr s.open_rate)
+    (fstr s.close_rate) s.cooldown_windows (fstr s.probe)
+    (match s.node with Some n -> Printf.sprintf ",node=%d" n | None -> "")
+
+let ( let* ) = Result.bind
+
+let of_string str =
+  let* params = Fault_plan.parse_params str in
+  let* () =
+    Fault_plan.check_keys ~clause:"breaker"
+      ~allowed:[ "open"; "close"; "cooldown"; "probe"; "node" ]
+      params
+  in
+  let opt_float key fallback =
+    match List.assoc_opt key params with
+    | None -> Ok fallback
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "breaker: %s=%S is not a number" key v))
+  in
+  let* open_rate = opt_float "open" default.open_rate in
+  let* close_rate = opt_float "close" default.close_rate in
+  let* probe = opt_float "probe" default.probe in
+  let* cooldown_windows =
+    match List.assoc_opt "cooldown" params with
+    | None -> Ok default.cooldown_windows
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "breaker: cooldown=%S is not an integer" v))
+  in
+  let* node =
+    match List.assoc_opt "node" params with
+    | None -> Ok None
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> Ok (Some n)
+      | _ -> Error (Printf.sprintf "breaker: node=%S is not a non-negative integer" v))
+  in
+  let s = { open_rate; close_rate; cooldown_windows; probe; node } in
+  let* () = validate s in
+  Ok s
+
+type state = Closed | Open of { until_window : int } | Half_open
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open _ -> "open"
+  | Half_open -> "half-open"
+
+type t = { t_spec : spec; t_state : state }
+
+let create s = { t_spec = s; t_state = Closed }
+let state t = t.t_state
+let spec t = t.t_spec
+
+let armed s ~node = match s.node with None -> true | Some n -> n = node
+
+let admits t ~window =
+  match t.t_state with
+  | Closed -> `All
+  | Half_open -> `Probe t.t_spec.probe
+  | Open { until_window } -> if window >= until_window then `All else `None
+
+let observe t ~window ~requests ~errors =
+  let rate =
+    if requests <= 0 then 0. else float_of_int errors /. float_of_int requests
+  in
+  let opened = Open { until_window = window + 1 + t.t_spec.cooldown_windows } in
+  let state =
+    match t.t_state with
+    | Closed -> if requests > 0 && rate >= t.t_spec.open_rate then opened else Closed
+    | Open { until_window } ->
+      (* the cooldown is wall-free rest: observations during it are the
+         failover traffic of other nodes, not evidence about this one *)
+      if window + 1 >= until_window then Half_open else t.t_state
+    | Half_open ->
+      if requests = 0 then Half_open (* no probe traffic, no verdict *)
+      else if rate >= t.t_spec.open_rate then opened
+      else if rate <= t.t_spec.close_rate then Closed
+      else Half_open (* between the thresholds: hold — hysteresis, no flap *)
+  in
+  { t with t_state = state }

@@ -1,0 +1,69 @@
+(** Per-storage-node circuit breaker on the modeled window clock.
+
+    A breaker watches one node's observed read-error/timeout counts and
+    moves through the classic closed -> open -> half-open cycle: a closed
+    breaker opens when a window's error rate reaches [open_rate]; an open
+    breaker waits [cooldown_windows] modeled windows, then goes half-open;
+    a half-open breaker admits a [probe] fraction of the node's demand and
+    closes only when the probe's error rate falls to [close_rate] — rates
+    between the two thresholds leave it half-open, so the state cannot
+    flap across the boundary (hysteresis).
+
+    Everything is a pure function of the observation sequence: no wall
+    clock, no draws, so breaker trajectories are byte-identical at every
+    [--jobs] setting.  The traffic engine drives one breaker per storage
+    shard and composes an open breaker with the PR 5 failover path: the
+    node's traffic is routed to the next healthy node, like
+    {!Injector.failover_node} routes a failed read. *)
+
+type spec = {
+  open_rate : float;  (** error rate at which a closed breaker opens *)
+  close_rate : float;  (** error rate at which a half-open breaker closes *)
+  cooldown_windows : int;  (** modeled windows an open breaker rests *)
+  probe : float;  (** fraction of demand admitted while half-open *)
+  node : int option;  (** arm only this storage node; [None] = all nodes *)
+}
+
+val default : spec
+(** [open=0.1, close=0.02, cooldown=2, probe=0.2], all nodes armed. *)
+
+val validate : spec -> (unit, string) result
+(** Requires [0 < close_rate <= open_rate <= 1], [cooldown_windows >= 1]
+    and [probe] in [(0, 1]]. *)
+
+val of_string : string -> (spec, string) result
+(** Parse ["open=R,close=R,cooldown=W,probe=F[,node=N]"] (any subset of
+    keys; omitted keys take {!default}s), the same key=value grammar as
+    {!Fault_plan.of_string} clauses.  The result is validated. *)
+
+val to_string : spec -> string
+(** Round-trips through {!of_string}. *)
+
+type state =
+  | Closed
+  | Open of { until_window : int }  (** closed world resumes at this window *)
+  | Half_open
+
+val state_to_string : state -> string
+(** ["closed"], ["open"], ["half-open"] — the report vocabulary. *)
+
+type t
+
+val create : spec -> t
+val state : t -> state
+val spec : t -> spec
+
+val armed : spec -> node:int -> bool
+(** Whether the spec covers this storage node. *)
+
+val admits : t -> window:int -> [ `All | `Probe of float | `None ]
+(** What the breaker lets through to its node in [window]: everything
+    (closed), a probe fraction (half-open), or nothing — an open breaker's
+    traffic takes the failover path.  Pure. *)
+
+val observe : t -> window:int -> requests:int -> errors:int -> t
+(** Fold the end-of-window observation ([errors] = read errors + timeouts
+    among the [requests] actually served on the node during [window]) and
+    return the state effective from the next window.  An open breaker
+    ignores observations until its cooldown expires; a half-open breaker
+    with no probe traffic stays half-open. *)

@@ -60,3 +60,17 @@ val of_string : string -> (t, string) result
 
 val to_string : t -> string
 (** Canonical rendering; [of_string (to_string t) = Ok t] up to the seed. *)
+
+(** {2 Grammar helpers}
+
+    The key=value clause grammar is shared by the other fault-family spec
+    parsers ({!Breaker.of_string}); these expose the primitive so the
+    grammars stay aligned. *)
+
+val parse_params : string -> ((string * string) list, string) result
+(** ["k1=v1,k2=v2"] to an assoc list; duplicate keys are rejected. *)
+
+val check_keys :
+  clause:string -> allowed:string list -> (string * string) list ->
+  (unit, string) result
+(** Reject any key outside [allowed], naming the [clause] in the error. *)

@@ -5,7 +5,8 @@ type span = {
   children : span list;
 }
 
-type reason = Head | Breach | Fault_path | Window_max
+(* Shed sorts last so adding it never reorders pre-overload reason lists *)
+type reason = Head | Breach | Fault_path | Window_max | Shed
 
 type t = {
   trace_id : int64;
@@ -79,12 +80,14 @@ let reason_to_string = function
   | Breach -> "breach"
   | Fault_path -> "fault"
   | Window_max -> "window_max"
+  | Shed -> "shed"
 
 let reason_of_string = function
   | "head" -> Some Head
   | "breach" -> Some Breach
   | "fault" -> Some Fault_path
   | "window_max" -> Some Window_max
+  | "shed" -> Some Shed
   | _ -> None
 
 (* wire format *)

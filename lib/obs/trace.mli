@@ -27,6 +27,7 @@ type reason =
   | Breach  (** modeled latency crossed the SLO breach threshold *)
   | Fault_path  (** the request saw a fault, retry, timeout or failover *)
   | Window_max  (** the max-latency request of its (tenant, window) *)
+  | Shed  (** rejected by the overload admission controller, never served *)
 
 type t = {
   trace_id : int64;

@@ -33,6 +33,10 @@ type params = {
   trace : Tracer.params option;
       (** request sampling; [None] (the default) compiles kernels without
           profile collection and skips the tracing sweep entirely *)
+  overload : Overload.params option;
+      (** admission control / load shedding / circuit breaking; [None]
+          (the default) runs the open-loop path untouched — byte-identical
+          to a build without the subsystem *)
 }
 
 let default_params ~mix =
@@ -50,6 +54,7 @@ let default_params ~mix =
     windows = 1;
     faults = Flo_faults.Fault_plan.empty;
     trace = None;
+    overload = None;
   }
 
 let validate p =
@@ -67,6 +72,7 @@ let validate p =
   let* () = if p.sample >= 1 then Ok () else Error "sample must be positive" in
   let* () = if p.windows >= 1 then Ok () else Error "windows must be positive" in
   let* () = match p.trace with None -> Ok () | Some tp -> Tracer.validate tp in
+  let* () = match p.overload with None -> Ok () | Some o -> Overload.validate o in
   Arrivals.validate p.process
 
 (* per-tenant substream purposes; the stride is full — widen it if adding
@@ -102,6 +108,52 @@ type shard_stats = {
           [[| multiplier |]] when the period is a single window *)
 }
 
+(* one (shard, window) cell of the overload-control ledger; all serving
+   counts are attributed to the shard that actually served the jobs *)
+type shard_window_admission = {
+  aw_offered_jobs : int;  (** jobs of tenants homed on this shard *)
+  aw_routed_out_jobs : int;  (** homed here, served elsewhere (open breaker) *)
+  aw_routed_in_jobs : int;  (** homed elsewhere, failed over to here *)
+  aw_offered_us : float;
+      (** service demand presented for admission on this shard after
+          routing, in normal-kernel units *)
+  aw_admitted_jobs : int;  (** served here at full fidelity *)
+  aw_browned_jobs : int;  (** served here by the degraded brownout kernels *)
+  aw_shed_jobs : int;  (** rejected here, never served *)
+  aw_served_requests : int;
+  aw_admitted_us : float;  (** demand actually absorbed after control *)
+  aw_multiplier : float;  (** [1 + admitted demand / window length] *)
+  aw_retry_suppressed : bool;
+      (** the admission controller switched this cell to the fail-fast
+          (retry-suppressed) kernels before shedding any job *)
+  aw_breaker : Flo_faults.Breaker.state option;
+      (** this shard's breaker state {e during} the window; [None] when no
+          breaker is armed on the shard *)
+}
+
+type overload_stats = {
+  ol_params : Overload.params;
+  ol_ff_kernels : (Kernel.t * Kernel.t) array option;
+      (** retry-suppressed variants, compiled only under a non-empty fault
+          plan with retries enabled *)
+  ol_bw_kernels : (Kernel.t * Kernel.t) array option;
+      (** reduced-fidelity brownout variants, compiled only under the
+          [Brownout] policy *)
+  ol_tenant_segs : Overload.seg list array array array;
+      (** tenant -> window -> rank -> admitted segments, in serving order *)
+  ol_tenant_shed : int array array array;
+      (** tenant -> window -> rank -> shed jobs *)
+  ol_admissions : shard_window_admission array array;  (** shard -> window *)
+  ol_offered_requests : int;  (** arrivals, in normal-kernel request units *)
+  ol_admitted_requests : int;  (** requests actually served *)
+  ol_shed_requests : int;  (** shed jobs, in normal-kernel request units *)
+  ol_browned_jobs : int;
+  ol_failover_jobs : int;  (** jobs served off their home shard *)
+  ol_retry_suppressed_windows : int;  (** (shard, window) cells switched *)
+  ol_goodput_rps : float;  (** admitted requests per modeled second *)
+  ol_shed_fraction : float;  (** shed / offered requests *)
+}
+
 type result = {
   params : params;
   shards : shard_stats array;
@@ -119,9 +171,12 @@ type result = {
   opt_p50_advantage_pct : float option;
   wall_s : float;  (** engine wall clock (machine-dependent) *)
   modeled_rps : float;  (** total_requests / wall_s (machine-dependent) *)
+  overload : overload_stats option;  (** [Some] iff [params.overload] is *)
 }
 
-let compile_kernels ?jobs ~config p =
+let compile_kernels ?jobs ?sample ?faults ~config p =
+  let sample = Option.value sample ~default:p.sample in
+  let faults = Option.value faults ~default:p.faults in
   let ranked = Array.of_list p.mix in
   (* both modes for every rank, fanned over the pool; order by (rank, mode)
      so the array layout is independent of scheduling *)
@@ -134,7 +189,7 @@ let compile_kernels ?jobs ~config p =
   let compiled =
     Parallel.map ?jobs
       (fun (app, mode) ->
-        Kernel.compile ~sample:p.sample ~faults:p.faults ~profile:(p.trace <> None)
+        Kernel.compile ~sample ~faults ~profile:(p.trace <> None)
           ~config ~mode app)
       tasks
   in
@@ -244,10 +299,53 @@ let mean_of = function
   | [] -> 0.
   | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
 
-let simulate ?jobs ?metrics ~config p =
-  (match validate p with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Traffic.Engine.simulate: " ^ msg));
+(* cross-tenant aggregates shared by the plain and overload paths *)
+let noisy_delta ~p ~shards_n active =
+  if p.noisy_boost <= 1. || shards_n < 2 || p.tenants < 2 then None
+  else begin
+    (* tenants co-located with the noisy tenant (its shard, itself
+       excluded) against tenants on the other shards *)
+    let noisy_shard = 0 in
+    let co, others =
+      List.partition
+        (fun (s : tenant_stats) -> s.shard = noisy_shard)
+        (List.filter (fun (s : tenant_stats) -> s.tenant <> 0) active)
+    in
+    match (co, others) with
+    | [], _ | _, [] -> None
+    | _ ->
+      let a = mean_of (List.map (fun s -> s.p99_us) co) in
+      let b = mean_of (List.map (fun s -> s.p99_us) others) in
+      if b = 0. then None else Some (100. *. ((a /. b) -. 1.))
+  end
+
+let opt_advantage active =
+  let opt, dfl = List.partition (fun (s : tenant_stats) -> s.optimized) active in
+  match (opt, dfl) with
+  | [], _ | _, [] -> None
+  | _ ->
+    let o = mean_of (List.map (fun (s : tenant_stats) -> s.p50_us) opt) in
+    let d = mean_of (List.map (fun (s : tenant_stats) -> s.p50_us) dfl) in
+    if d = 0. then None else Some (100. *. ((d -. o) /. d))
+
+(* per-tenant and per-shard counters for the observability layer; filled
+   after the parallel phase so the registry is only touched by one domain *)
+let publish_base_metrics registry tenants_stats shards =
+  Array.iter
+    (fun s ->
+      let labels = [ ("tenant", string_of_int s.tenant) ] in
+      Flo_obs.Metrics.incr ~by:s.jobs (Flo_obs.Metrics.counter registry ~labels "traffic.jobs");
+      Flo_obs.Metrics.incr ~by:s.requests
+        (Flo_obs.Metrics.counter registry ~labels "traffic.requests"))
+    tenants_stats;
+  Array.iter
+    (fun s ->
+      let labels = [ ("shard", string_of_int s.shard) ] in
+      Flo_obs.Metrics.incr ~by:s.shard_requests
+        (Flo_obs.Metrics.counter registry ~labels "traffic.shard_requests"))
+    shards
+
+let simulate_plain ?jobs ?metrics ~config p =
   let kernels = compile_kernels ?jobs ~config p in
   let zipf = Zipf.make ~s:p.zipf_s ~n:(Array.length kernels) in
   let shards_n = config.Config.topology.Flo_storage.Topology.storage_nodes in
@@ -358,52 +456,11 @@ let simulate ?jobs ?metrics ~config p =
   let total_requests = Array.fold_left (fun a s -> a + s.shard_requests) 0 shards in
   let active = List.filter (fun s -> s.requests > 0) (Array.to_list tenants_stats) in
   let fairness = jain (Array.of_list (List.map (fun s -> s.mean_us) active)) in
-  let noisy_p99_delta_pct =
-    if p.noisy_boost <= 1. || shards_n < 2 || p.tenants < 2 then None
-    else begin
-      (* tenants co-located with the noisy tenant (its shard, itself
-         excluded) against tenants on the other shards *)
-      let noisy_shard = 0 in
-      let co, others =
-        List.partition
-          (fun (s : tenant_stats) -> s.shard = noisy_shard)
-          (List.filter (fun (s : tenant_stats) -> s.tenant <> 0) active)
-      in
-      match (co, others) with
-      | [], _ | _, [] -> None
-      | _ ->
-        let a = mean_of (List.map (fun s -> s.p99_us) co) in
-        let b = mean_of (List.map (fun s -> s.p99_us) others) in
-        if b = 0. then None else Some (100. *. ((a /. b) -. 1.))
-    end
-  in
-  let opt_p50_advantage_pct =
-    let opt, dfl = List.partition (fun s -> s.optimized) active in
-    match (opt, dfl) with
-    | [], _ | _, [] -> None
-    | _ ->
-      let o = mean_of (List.map (fun s -> s.p50_us) opt) in
-      let d = mean_of (List.map (fun s -> s.p50_us) dfl) in
-      if d = 0. then None else Some (100. *. ((d -. o) /. d))
-  in
-  (* per-tenant and per-shard counters for the observability layer; filled
-     after the parallel phase so the registry is only touched by one domain *)
+  let noisy_p99_delta_pct = noisy_delta ~p ~shards_n active in
+  let opt_p50_advantage_pct = opt_advantage active in
   (match metrics with
   | None -> ()
-  | Some registry ->
-    Array.iter
-      (fun s ->
-        let labels = [ ("tenant", string_of_int s.tenant) ] in
-        Flo_obs.Metrics.incr ~by:s.jobs (Flo_obs.Metrics.counter registry ~labels "traffic.jobs");
-        Flo_obs.Metrics.incr ~by:s.requests
-          (Flo_obs.Metrics.counter registry ~labels "traffic.requests"))
-      tenants_stats;
-    Array.iter
-      (fun s ->
-        let labels = [ ("shard", string_of_int s.shard) ] in
-        Flo_obs.Metrics.incr ~by:s.shard_requests
-          (Flo_obs.Metrics.counter registry ~labels "traffic.shard_requests"))
-      shards);
+  | Some registry -> publish_base_metrics registry tenants_stats shards);
   {
     params = p;
     shards;
@@ -422,4 +479,647 @@ let simulate ?jobs ?metrics ~config p =
     wall_s;
     modeled_rps =
       (if wall_s > 0. then float_of_int total_requests /. wall_s else 0.);
+    overload = None;
   }
+
+(* ---------------------------------------------------------------------- *)
+(* Overload path: admission control, load shedding, circuit breaking.
+
+   Three phases.  Phase A plans every tenant in parallel per home shard
+   (identical draws to the plain path — the subsystem makes no PRNG draws
+   of its own).  Phase B is a sequential control loop over (window, shard):
+   breakers decide what each shard admits, open shards route their traffic
+   along the failover path, and the admission controller keeps each serving
+   shard's demand at or under [capacity * window length] by shedding,
+   degrading, or retry-suppressing whole jobs — all exact-integer
+   largest-remainder decisions, so the loop is a pure function of the plans
+   and byte-identical at every jobs value.  Phase C replays the admitted
+   segments in parallel per home shard. *)
+
+(* serve [jobs] of rank [r] with the variant's kernel for this layout *)
+let overload_kernel ~kernels ~ff_kernels ~bw_kernels variant r optimized =
+  let pick arr =
+    let kd, ki = arr.(r) in
+    if optimized then ki else kd
+  in
+  match (variant : Overload.variant) with
+  | Overload.Normal -> pick kernels
+  | Overload.Fail_fast_serve ->
+    (match ff_kernels with Some a -> pick a | None -> pick kernels)
+  | Overload.Browned ->
+    (match bw_kernels with Some a -> pick a | None -> pick kernels)
+
+let simulate_overload ?jobs ?metrics ~config ~(o : Overload.params) p =
+  let kernels = compile_kernels ?jobs ~config p in
+  let t0 = Unix.gettimeofday () in
+  (* kernel variants: fail-fast recompiles under the same plan with the
+     retry budget zeroed (retries shed before any fresh job); brownout
+     recompiles at a coarser sampling factor (degraded service, reusing the
+     simulator's profile-mode knob).  Both are skipped when no policy can
+     reach them, so breaker-only runs pay for no extra compilations. *)
+  let ff_kernels =
+    let retry = p.faults.Flo_faults.Fault_plan.retry in
+    if
+      o.Overload.shed = None
+      || Flo_faults.Fault_plan.is_empty p.faults
+      || retry.Flo_faults.Retry.max_retries = 0
+    then None
+    else
+      let ff_plan =
+        { p.faults with
+          Flo_faults.Fault_plan.retry = { retry with Flo_faults.Retry.max_retries = 0 } }
+      in
+      Some (compile_kernels ?jobs ~faults:ff_plan ~config p)
+  in
+  let bw_kernels =
+    if o.Overload.shed = Some Overload.Brownout then
+      Some (compile_kernels ?jobs ~sample:(p.sample * o.Overload.brownout_factor) ~config p)
+    else None
+  in
+  let kernel_of = overload_kernel ~kernels ~ff_kernels ~bw_kernels in
+  let zipf = Zipf.make ~s:p.zipf_s ~n:(Array.length kernels) in
+  let shards_n = config.Config.topology.Flo_storage.Topology.storage_nodes in
+  let ranks = Array.length kernels in
+  let win_len_us = p.duration_s /. float_of_int p.windows *. 1e6 in
+  let target_us =
+    match o.Overload.shed with
+    | None -> infinity  (* breaker-only mode: route, never shed *)
+    | Some _ -> o.Overload.capacity *. win_len_us
+  in
+  (* phase A: plan tenants in parallel, one task per home shard — the same
+     fan-out (and the same substream draws) as the plain path *)
+  let shard_tenant_ids =
+    Array.init shards_n (fun shard ->
+        List.filter (fun t -> t mod shards_n = shard) (List.init p.tenants Fun.id))
+  in
+  let shard_plans =
+    Parallel.map ?jobs
+      (fun shard -> List.map (plan_tenant ~p ~zipf ~kernels) shard_tenant_ids.(shard))
+      (Array.init shards_n Fun.id)
+  in
+  (* a shard's admission classes: every (tenant, rank) pair homed on it, in
+     home order — the order every split decision is made in *)
+  let shard_classes =
+    Array.map
+      (fun plans ->
+        Array.of_list
+          (List.concat_map (fun pl -> List.init ranks (fun r -> (pl, r))) plans))
+      shard_plans
+  in
+  let breakers =
+    Array.init shards_n (fun s ->
+        match o.Overload.breaker with
+        | Some spec when Flo_faults.Breaker.armed spec ~node:s ->
+          Some (Flo_faults.Breaker.create spec)
+        | _ -> None)
+  in
+  (* phase B ledgers *)
+  let tenant_segs =
+    Array.init p.tenants (fun _ ->
+        Array.init p.windows (fun _ -> Array.make ranks ([] : Overload.seg list)))
+  in
+  let tenant_shed = Array.init p.tenants (fun _ -> Array.make_matrix p.windows ranks 0) in
+  let dummy_cell =
+    {
+      aw_offered_jobs = 0;
+      aw_routed_out_jobs = 0;
+      aw_routed_in_jobs = 0;
+      aw_offered_us = 0.;
+      aw_admitted_jobs = 0;
+      aw_browned_jobs = 0;
+      aw_shed_jobs = 0;
+      aw_served_requests = 0;
+      aw_admitted_us = 0.;
+      aw_multiplier = 1.;
+      aw_retry_suppressed = false;
+      aw_breaker = None;
+    }
+  in
+  let admissions = Array.init shards_n (fun _ -> Array.make p.windows dummy_cell) in
+  for w = 0 to p.windows - 1 do
+    let admit_mode =
+      Array.map
+        (function None -> `All | Some b -> Flo_faults.Breaker.admits b ~window:w)
+        breakers
+    in
+    (* an open shard's traffic goes to the next shard that admits anything —
+       the same ring walk as Injector.failover_node.  If every other shard
+       is also open, the traffic is served locally: the breaker cannot
+       black-hole the fleet. *)
+    let fail_target s =
+      let rec go k =
+        if k >= shards_n then s
+        else
+          let t = (s + k) mod shards_n in
+          if admit_mode.(t) <> `None then t else go (k + 1)
+      in
+      go 1
+    in
+    (* routing: build each serving shard's admission ledger (reversed;
+       deterministic home-shard-then-class order) *)
+    let served = Array.make shards_n ([] : (tenant_plan * int * int) list) in
+    let offered_jobs = Array.make shards_n 0 in
+    let routed_in = Array.make shards_n 0 in
+    let routed_out = Array.make shards_n 0 in
+    Array.iteri
+      (fun s classes ->
+        let counts = Array.map (fun (pl, r) -> pl.pl_window_jobs.(w).(r)) classes in
+        let total = Array.fold_left ( + ) 0 counts in
+        offered_jobs.(s) <- total;
+        if total > 0 then begin
+          let add t i n =
+            if n > 0 then begin
+              let pl, r = classes.(i) in
+              served.(t) <- (pl, r, n) :: served.(t);
+              if t <> s then begin
+                routed_in.(t) <- routed_in.(t) + n;
+                routed_out.(s) <- routed_out.(s) + n
+              end
+            end
+          in
+          match admit_mode.(s) with
+          | `All -> Array.iteri (fun i n -> add s i n) counts
+          | `None ->
+            let t = fail_target s in
+            Array.iteri (fun i n -> add t i n) counts
+          | `Probe f ->
+            (* half-open: a probe fraction stays local (at least one job,
+               or the breaker could never observe a recovery), the rest
+               takes the failover path *)
+            let keep = max 1 (int_of_float (f *. float_of_int total)) in
+            let local = Overload.split ~counts ~keep in
+            let t = fail_target s in
+            Array.iteri
+              (fun i n ->
+                add s i local.(i);
+                add t i (n - local.(i)))
+              counts
+        end)
+      shard_classes;
+    (* admission per serving shard *)
+    let req_obs = Array.make shards_n 0 in
+    let err_obs = Array.make shards_n 0 in
+    Array.iteri
+      (fun t entries_rev ->
+        let entries = Array.of_list (List.rev entries_rev) in
+        let n_entries = Array.length entries in
+        let counts = Array.map (fun (_, _, n) -> n) entries in
+        let total = Array.fold_left ( + ) 0 counts in
+        let demand_of variant counts =
+          let d = ref 0. in
+          Array.iteri
+            (fun i n ->
+              if n > 0 then begin
+                let pl, r, _ = entries.(i) in
+                let k = kernel_of variant r pl.pl_optimized in
+                d := !d +. (float_of_int n *. k.Kernel.demand_us_per_job)
+              end)
+            counts;
+          !d
+        in
+        let offered_us = demand_of Overload.Normal counts in
+        (* retry-aware admission: when the window is over target and the
+           fault plan is burning service time in retries, suppress the
+           retry storm (serve everything fail-fast) before shedding any
+           fresh job — the defence against metastable congestion collapse *)
+        let variant, base_us =
+          if offered_us > target_us && ff_kernels <> None then begin
+            let ff_us = demand_of Overload.Fail_fast_serve counts in
+            if ff_us < offered_us then (Overload.Fail_fast_serve, ff_us)
+            else (Overload.Normal, offered_us)
+          end
+          else (Overload.Normal, offered_us)
+        in
+        let zeros () = Array.make n_entries 0 in
+        (* deterministic top-up: the proportional split computes [keep]
+           from the aggregate demand ratio, so with heterogeneous class
+           demands (one bt job is worth hundreds of small-app jobs) the
+           integer floor can strand most of the window's capacity.  After
+           apportioning, greedily admit whole jobs that still fit under
+           target, walking classes in [order] until a full pass admits
+           nothing. *)
+        let top_up ?order ~variant admitted =
+          let order =
+            match order with Some o -> o | None -> Array.init n_entries Fun.id
+          in
+          let admitted = Array.copy admitted in
+          let per_job =
+            Array.map
+              (fun (pl, r, _) ->
+                (kernel_of variant r pl.pl_optimized).Kernel.demand_us_per_job)
+              entries
+          in
+          let used = ref 0. in
+          Array.iteri
+            (fun i n -> used := !used +. (float_of_int n *. per_job.(i)))
+            admitted;
+          let progress = ref true in
+          while !progress do
+            progress := false;
+            Array.iter
+              (fun i ->
+                if admitted.(i) < counts.(i) && !used +. per_job.(i) <= target_us
+                then begin
+                  admitted.(i) <- admitted.(i) + 1;
+                  used := !used +. per_job.(i);
+                  progress := true
+                end)
+              order
+          done;
+          admitted
+        in
+        (* kept (served with [variant]) and browned job counts per class;
+           anything left over is shed.  Each policy keeps admitted demand
+           at or under target to within per-class rounding. *)
+        let kept, browned =
+          if base_us <= target_us || total = 0 then (Array.copy counts, zeros ())
+          else
+            match o.Overload.shed with
+            | None -> (Array.copy counts, zeros ())  (* target is infinite *)
+            | Some Overload.Fail_fast ->
+              let keep = int_of_float (target_us /. base_us *. float_of_int total) in
+              (top_up ~variant (Overload.split ~counts ~keep), zeros ())
+            | Some Overload.Priority ->
+              (* the optimized (paying) cohort is admitted first; default
+                 jobs absorb the shedding until that cohort alone exceeds
+                 the target *)
+              let opt_counts =
+                Array.map (fun (pl, _, n) -> if pl.pl_optimized then n else 0) entries
+              in
+              let dfl_counts =
+                Array.map (fun (pl, _, n) -> if pl.pl_optimized then 0 else n) entries
+              in
+              let opt_total = Array.fold_left ( + ) 0 opt_counts in
+              let dfl_total = Array.fold_left ( + ) 0 dfl_counts in
+              (* optimized classes first, so any capacity the rounding
+                 leaves behind goes to the protected cohort before the
+                 default one *)
+              let opt_first =
+                let opt = ref [] and dfl = ref [] in
+                Array.iteri
+                  (fun i (pl, _, _) ->
+                    if pl.pl_optimized then opt := i :: !opt else dfl := i :: !dfl)
+                  entries;
+                Array.of_list (List.rev !opt @ List.rev !dfl)
+              in
+              let opt_us = demand_of variant opt_counts in
+              if opt_us >= target_us then begin
+                let keep =
+                  if opt_us <= 0. then 0
+                  else int_of_float (target_us /. opt_us *. float_of_int opt_total)
+                in
+                ( top_up ~order:opt_first ~variant
+                    (Overload.split ~counts:opt_counts ~keep),
+                  zeros () )
+              end
+              else begin
+                let dfl_us = base_us -. opt_us in
+                let keep_dfl =
+                  if dfl_us <= 0. then dfl_total
+                  else
+                    int_of_float
+                      ((target_us -. opt_us) /. dfl_us *. float_of_int dfl_total)
+                in
+                let kept_dfl = Overload.split ~counts:dfl_counts ~keep:keep_dfl in
+                ( top_up ~order:opt_first ~variant
+                    (Array.init n_entries (fun i -> opt_counts.(i) + kept_dfl.(i))),
+                  zeros () )
+              end
+            | Some Overload.Brownout ->
+              let bw_us = demand_of Overload.Browned counts in
+              if bw_us >= target_us then begin
+                (* even fully degraded the window exceeds target: brown
+                   what fits, shed the rest *)
+                let keep =
+                  if bw_us <= 0. then 0
+                  else int_of_float (target_us /. bw_us *. float_of_int total)
+                in
+                ( zeros (),
+                  top_up ~variant:Overload.Browned (Overload.split ~counts ~keep) )
+              end
+              else begin
+                (* degrade the g fraction that brings admitted demand back
+                   to target: (1-g) * base + g * browned = target *)
+                let g = (base_us -. target_us) /. (base_us -. bw_us) in
+                let browned =
+                  Overload.split ~counts
+                    ~keep:(min total (int_of_float (ceil (g *. float_of_int total))))
+                in
+                (Array.init n_entries (fun i -> counts.(i) - browned.(i)), browned)
+              end
+        in
+        (* the service quantum is a whole job: when even one job exceeds
+           the window target the keep counts all floor to zero, which would
+           stall the shard forever.  A real admission controller still
+           drains one quantum per cycle, so admit exactly one job (browned
+           under Brownout) and accept the bounded overshoot. *)
+        let kept, browned =
+          let admitted =
+            Array.fold_left ( + ) 0 kept + Array.fold_left ( + ) 0 browned
+          in
+          if total = 0 || admitted > 0 then (kept, browned)
+          else begin
+            let one = zeros () in
+            (try
+               Array.iteri
+                 (fun i c -> if c > 0 then (one.(i) <- 1; raise Exit))
+                 counts
+             with Exit -> ());
+            match o.Overload.shed with
+            | Some Overload.Brownout -> (kept, one)
+            | _ -> (one, browned)
+          end
+        in
+        (* the multiplier every admitted request sees is set by what was
+           admitted, not what was offered — this is the whole point *)
+        let admitted_us = ref 0. in
+        Array.iteri
+          (fun i (pl, r, _) ->
+            if kept.(i) > 0 then begin
+              let k = kernel_of variant r pl.pl_optimized in
+              admitted_us :=
+                !admitted_us +. (float_of_int kept.(i) *. k.Kernel.demand_us_per_job)
+            end;
+            if browned.(i) > 0 then begin
+              let k = kernel_of Overload.Browned r pl.pl_optimized in
+              admitted_us :=
+                !admitted_us +. (float_of_int browned.(i) *. k.Kernel.demand_us_per_job)
+            end)
+          entries;
+        let multiplier = 1. +. (!admitted_us /. win_len_us) in
+        let served_requests = ref 0 in
+        let errors = ref 0 in
+        let admitted_jobs = ref 0 in
+        let browned_jobs = ref 0 in
+        let shed_jobs = ref 0 in
+        Array.iteri
+          (fun i (pl, r, n) ->
+            let record v cnt =
+              if cnt > 0 then begin
+                let k = kernel_of v r pl.pl_optimized in
+                served_requests := !served_requests + (cnt * k.Kernel.requests_per_job);
+                errors :=
+                  !errors + (cnt * (k.Kernel.errors_per_job + k.Kernel.timeouts_per_job));
+                tenant_segs.(pl.pl_tenant).(w).(r) <-
+                  { Overload.sg_variant = v; sg_jobs = cnt; sg_mult = multiplier;
+                    sg_shard = t }
+                  :: tenant_segs.(pl.pl_tenant).(w).(r)
+              end
+            in
+            record variant kept.(i);
+            record Overload.Browned browned.(i);
+            admitted_jobs := !admitted_jobs + kept.(i);
+            browned_jobs := !browned_jobs + browned.(i);
+            let sh = n - kept.(i) - browned.(i) in
+            if sh > 0 then begin
+              shed_jobs := !shed_jobs + sh;
+              tenant_shed.(pl.pl_tenant).(w).(r) <- tenant_shed.(pl.pl_tenant).(w).(r) + sh
+            end)
+          entries;
+        req_obs.(t) <- !served_requests;
+        err_obs.(t) <- !errors;
+        admissions.(t).(w) <-
+          {
+            aw_offered_jobs = offered_jobs.(t);
+            aw_routed_out_jobs = routed_out.(t);
+            aw_routed_in_jobs = routed_in.(t);
+            aw_offered_us = offered_us;
+            aw_admitted_jobs = !admitted_jobs;
+            aw_browned_jobs = !browned_jobs;
+            aw_shed_jobs = !shed_jobs;
+            aw_served_requests = !served_requests;
+            aw_admitted_us = !admitted_us;
+            aw_multiplier = multiplier;
+            aw_retry_suppressed = (variant = Overload.Fail_fast_serve);
+            aw_breaker = Option.map Flo_faults.Breaker.state breakers.(t);
+          })
+      served;
+    (* end-of-window observations advance the breakers' state machines *)
+    Array.iteri
+      (fun s b ->
+        match b with
+        | None -> ()
+        | Some b ->
+          breakers.(s) <-
+            Some
+              (Flo_faults.Breaker.observe b ~window:w ~requests:req_obs.(s)
+                 ~errors:err_obs.(s)))
+      breakers
+  done;
+  (* segment lists were built head-first; serve order is the reverse *)
+  Array.iter
+    (fun wmat ->
+      Array.iter
+        (fun rrow -> Array.iteri (fun r segs -> rrow.(r) <- List.rev segs) rrow)
+        wmat)
+    tenant_segs;
+  (* phase C: replay admitted segments in parallel per home shard *)
+  let replay_segments pl =
+    let hist = hist_create () in
+    let requests = ref 0 in
+    Array.iter
+      (fun rrow ->
+        Array.iteri
+          (fun r segl ->
+            List.iter
+              (fun (sg : Overload.seg) ->
+                let k = kernel_of sg.Overload.sg_variant r pl.pl_optimized in
+                let n = sg.Overload.sg_jobs * k.Kernel.requests_per_job in
+                requests := !requests + n;
+                let cnts = Kernel.apportion k ~requests:n in
+                Array.iteri
+                  (fun i cnt ->
+                    if cnt > 0 then
+                      Flo_obs.Histogram.add_many hist
+                        (k.Kernel.classes.(i).Kernel.latency_us *. sg.Overload.sg_mult)
+                        cnt)
+                  cnts)
+              segl)
+          rrow)
+      tenant_segs.(pl.pl_tenant);
+    (hist, !requests)
+  in
+  let shard_results =
+    Parallel.map ?jobs
+      (fun shard ->
+        let plans = shard_plans.(shard) in
+        let per_tenant =
+          List.map
+            (fun pl ->
+              let hist, requests = replay_segments pl in
+              let rank_jobs = plan_rank_jobs pl in
+              let stats =
+                {
+                  tenant = pl.pl_tenant;
+                  shard;
+                  optimized = pl.pl_optimized;
+                  (* jobs are what arrived; requests are what was served *)
+                  jobs = Array.fold_left ( + ) 0 rank_jobs;
+                  requests;
+                  rank_jobs;
+                  window_rank_jobs = pl.pl_window_jobs;
+                  mean_us = Flo_obs.Histogram.mean hist;
+                  p50_us = Flo_obs.Histogram.percentile hist 0.5;
+                  p99_us = Flo_obs.Histogram.percentile hist 0.99;
+                }
+              in
+              (stats, hist))
+            plans
+        in
+        let shard_traces =
+          match p.trace with
+          | None -> []
+          | Some tp ->
+            List.map2
+              (fun pl (_, hist) ->
+                Tracer.trace_tenant_overload ~t:tp ~seed:p.seed
+                  ~stream:(stream_trace pl.pl_tenant) ~tenant:pl.pl_tenant ~shard
+                  ~optimized:pl.pl_optimized ~win_len_us ~kernels ~ff_kernels
+                  ~bw_kernels ~segs:tenant_segs.(pl.pl_tenant)
+                  ~shed:tenant_shed.(pl.pl_tenant) ~hist)
+              plans per_tenant
+            |> List.concat
+        in
+        (List.map fst per_tenant, hist_merge_list (List.map snd per_tenant), shard_traces))
+      (Array.init shards_n Fun.id)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (* shard stats under overload use serving-shard attribution, straight
+     from the admission ledger *)
+  let shards =
+    Array.init shards_n (fun s ->
+        let cells = admissions.(s) in
+        let admitted_us =
+          Array.fold_left (fun a c -> a +. c.aw_admitted_us) 0. cells
+        in
+        let utilization = admitted_us /. (p.duration_s *. 1e6) in
+        {
+          shard = s;
+          shard_tenants = List.length shard_tenant_ids.(s);
+          shard_jobs =
+            Array.fold_left (fun a c -> a + c.aw_admitted_jobs + c.aw_browned_jobs) 0 cells;
+          shard_requests = Array.fold_left (fun a c -> a + c.aw_served_requests) 0 cells;
+          utilization;
+          multiplier = 1. +. utilization;
+          window_multipliers = Array.map (fun c -> c.aw_multiplier) cells;
+        })
+  in
+  let tenants_stats = Array.make p.tenants None in
+  Array.iter
+    (fun (stats, _, _) -> List.iter (fun s -> tenants_stats.(s.tenant) <- Some s) stats)
+    shard_results;
+  let tenants_stats =
+    Array.map (function Some s -> s | None -> assert false) tenants_stats
+  in
+  let agg_hist =
+    hist_merge_list (Array.to_list (Array.map (fun (_, h, _) -> h) shard_results))
+  in
+  let traces = List.concat_map (fun (_, _, ts) -> ts) (Array.to_list shard_results) in
+  let total_jobs = Array.fold_left (fun a s -> a + s.shard_jobs) 0 shards in
+  let total_requests = Array.fold_left (fun a s -> a + s.shard_requests) 0 shards in
+  (* offered / shed request accounting, in normal-kernel units *)
+  let rpj tenant r =
+    let k = kernel_of Overload.Normal r tenants_stats.(tenant).optimized in
+    k.Kernel.requests_per_job
+  in
+  let offered_requests = ref 0 in
+  let shed_requests = ref 0 in
+  Array.iteri
+    (fun tenant s ->
+      Array.iteri (fun r j -> offered_requests := !offered_requests + (j * rpj tenant r))
+        s.rank_jobs;
+      Array.iter
+        (fun row ->
+          Array.iteri (fun r j -> shed_requests := !shed_requests + (j * rpj tenant r)) row)
+        tenant_shed.(tenant))
+    tenants_stats;
+  let sum_cells f =
+    Array.fold_left
+      (fun a cells -> Array.fold_left (fun a c -> a + f c) a cells)
+      0 admissions
+  in
+  let browned_jobs = sum_cells (fun c -> c.aw_browned_jobs) in
+  let failover_jobs = sum_cells (fun c -> c.aw_routed_in_jobs) in
+  let retry_suppressed_windows = sum_cells (fun c -> if c.aw_retry_suppressed then 1 else 0) in
+  let ol =
+    {
+      ol_params = o;
+      ol_ff_kernels = ff_kernels;
+      ol_bw_kernels = bw_kernels;
+      ol_tenant_segs = tenant_segs;
+      ol_tenant_shed = tenant_shed;
+      ol_admissions = admissions;
+      ol_offered_requests = !offered_requests;
+      ol_admitted_requests = total_requests;
+      ol_shed_requests = !shed_requests;
+      ol_browned_jobs = browned_jobs;
+      ol_failover_jobs = failover_jobs;
+      ol_retry_suppressed_windows = retry_suppressed_windows;
+      ol_goodput_rps = float_of_int total_requests /. p.duration_s;
+      ol_shed_fraction =
+        (if !offered_requests = 0 then 0.
+         else float_of_int !shed_requests /. float_of_int !offered_requests);
+    }
+  in
+  let active = List.filter (fun s -> s.requests > 0) (Array.to_list tenants_stats) in
+  let fairness = jain (Array.of_list (List.map (fun s -> s.mean_us) active)) in
+  let noisy_p99_delta_pct = noisy_delta ~p ~shards_n active in
+  let opt_p50_advantage_pct = opt_advantage active in
+  (match metrics with
+  | None -> ()
+  | Some registry ->
+    publish_base_metrics registry tenants_stats shards;
+    let counter name by =
+      Flo_obs.Metrics.incr ~by (Flo_obs.Metrics.counter registry name)
+    in
+    counter "overload.shed_requests" ol.ol_shed_requests;
+    counter "overload.admitted_requests" ol.ol_admitted_requests;
+    counter "overload.browned_jobs" ol.ol_browned_jobs;
+    counter "overload.failover_jobs" ol.ol_failover_jobs;
+    Flo_obs.Metrics.set_gauge
+      (Flo_obs.Metrics.gauge registry "overload.goodput_rps")
+      ol.ol_goodput_rps;
+    Flo_obs.Metrics.set_gauge
+      (Flo_obs.Metrics.gauge registry "overload.shed_fraction")
+      ol.ol_shed_fraction;
+    Array.iteri
+      (fun s cells ->
+        let opened =
+          Array.fold_left
+            (fun a c ->
+              match c.aw_breaker with Some (Flo_faults.Breaker.Open _) -> a + 1 | _ -> a)
+            0 cells
+        in
+        if opened > 0 then
+          Flo_obs.Metrics.incr ~by:opened
+            (Flo_obs.Metrics.counter registry
+               ~labels:[ ("shard", string_of_int s) ]
+               "overload.breaker_open_windows"))
+      admissions);
+  {
+    params = p;
+    shards;
+    tenants_stats;
+    kernels;
+    agg_hist;
+    traces;
+    total_jobs;
+    total_requests;
+    offered_rps = float_of_int total_requests /. p.duration_s;
+    agg_p50_us = Flo_obs.Histogram.percentile agg_hist 0.5;
+    agg_p99_us = Flo_obs.Histogram.percentile agg_hist 0.99;
+    fairness;
+    noisy_p99_delta_pct;
+    opt_p50_advantage_pct;
+    wall_s;
+    modeled_rps = (if wall_s > 0. then float_of_int total_requests /. wall_s else 0.);
+    overload = Some ol;
+  }
+
+let simulate ?jobs ?metrics ~config p =
+  (match validate p with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Traffic.Engine.simulate: " ^ msg));
+  match p.overload with
+  | None -> simulate_plain ?jobs ?metrics ~config p
+  | Some o -> simulate_overload ?jobs ?metrics ~config ~o p

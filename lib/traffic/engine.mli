@@ -36,12 +36,17 @@ type params = {
           skips profile collection and the tracing sweep entirely — every
           modeled number is byte-identical either way, tracing only {e adds}
           [result.traces] and histogram exemplars *)
+  overload : Overload.params option;
+      (** admission control, load shedding and circuit breaking
+          ({!Overload}); [None] (the default) takes the open-loop code path
+          untouched, so every report is byte-identical to a build without
+          the subsystem *)
 }
 
 val default_params : mix:App.t list -> params
 (** 64 tenants, seed 42, 10 modeled seconds at 2 jobs/s, zipf-s 1.1,
     opt-share 0.5, no noisy tenant, Poisson arrivals, sample 8, a single
-    window, no faults, no tracing. *)
+    window, no faults, no tracing, no overload control. *)
 
 val validate : params -> (unit, string) result
 
@@ -72,6 +77,58 @@ type shard_stats = {
           [[| multiplier |]] when the period is a single window *)
 }
 
+(** One (shard, window) cell of the overload-control ledger.  Serving
+    counts ([aw_admitted_jobs], [aw_browned_jobs], [aw_served_requests],
+    demand, multiplier) are attributed to the shard that actually served
+    the jobs; [aw_offered_jobs]/[aw_routed_out_jobs] describe the tenants
+    homed on the shard. *)
+type shard_window_admission = {
+  aw_offered_jobs : int;  (** jobs of tenants homed on this shard *)
+  aw_routed_out_jobs : int;  (** homed here, served elsewhere (open breaker) *)
+  aw_routed_in_jobs : int;  (** homed elsewhere, failed over to here *)
+  aw_offered_us : float;
+      (** service demand presented for admission on this shard after
+          routing, in normal-kernel units *)
+  aw_admitted_jobs : int;  (** served here at full fidelity *)
+  aw_browned_jobs : int;  (** served here by the degraded brownout kernels *)
+  aw_shed_jobs : int;  (** rejected here, never served *)
+  aw_served_requests : int;
+  aw_admitted_us : float;  (** demand actually absorbed after control *)
+  aw_multiplier : float;  (** [1 + admitted demand / window length] *)
+  aw_retry_suppressed : bool;
+      (** the admission controller switched this cell to the fail-fast
+          (retry-suppressed) kernels before shedding any job *)
+  aw_breaker : Flo_faults.Breaker.state option;
+      (** this shard's breaker state {e during} the window; [None] when no
+          breaker is armed on the shard *)
+}
+
+(** Everything the overload subsystem decided, exposed for reports, SLO
+    scoring and tests.  [ol_tenant_segs] is the ground truth the replay,
+    the tracer and {!Slo_eval} all walk in identical order. *)
+type overload_stats = {
+  ol_params : Overload.params;
+  ol_ff_kernels : (Kernel.t * Kernel.t) array option;
+      (** retry-suppressed kernel variants (the fault plan recompiled with
+          a zero retry budget); [None] when no policy can reach them *)
+  ol_bw_kernels : (Kernel.t * Kernel.t) array option;
+      (** reduced-fidelity brownout variants; [None] off the [Brownout]
+          policy *)
+  ol_tenant_segs : Overload.seg list array array array;
+      (** tenant -> window -> rank -> admitted segments, in serving order *)
+  ol_tenant_shed : int array array array;
+      (** tenant -> window -> rank -> shed jobs *)
+  ol_admissions : shard_window_admission array array;  (** shard -> window *)
+  ol_offered_requests : int;  (** arrivals, in normal-kernel request units *)
+  ol_admitted_requests : int;  (** requests actually served *)
+  ol_shed_requests : int;  (** shed jobs, in normal-kernel request units *)
+  ol_browned_jobs : int;
+  ol_failover_jobs : int;  (** jobs served off their home shard *)
+  ol_retry_suppressed_windows : int;  (** (shard, window) cells switched *)
+  ol_goodput_rps : float;  (** admitted requests per modeled second *)
+  ol_shed_fraction : float;  (** shed / offered requests *)
+}
+
 type result = {
   params : params;
   shards : shard_stats array;
@@ -98,6 +155,13 @@ type result = {
       (** how much lower the optimized tenants' mean p50 is, percent *)
   wall_s : float;  (** engine wall clock (machine-dependent) *)
   modeled_rps : float;  (** total_requests / wall_s (machine-dependent) *)
+  overload : overload_stats option;
+      (** [Some] exactly when [params.overload] is.  Under overload
+          control, [tenant_stats.jobs] still counts arrivals but
+          [requests], the histograms and every percentile describe the
+          {e accepted} cohort only; shard stats use serving-shard
+          attribution and [shard_stats.window_multipliers] come from the
+          admission ledger. *)
 }
 
 val simulate :
@@ -108,4 +172,14 @@ val simulate :
     [wall_s] and [modeled_rps] is a pure function of (params, config).
     With [metrics], per-tenant [traffic.jobs]/[traffic.requests] and
     per-shard [traffic.shard_requests] counters are recorded.
+
+    With [params.overload] set, a sequential control loop runs between
+    planning and replay: per-storage-node circuit breakers decide what each
+    shard admits (an open shard's traffic takes the failover ring walk),
+    and a per-(shard, window) admission controller keeps admitted demand at
+    or under [capacity * window length] — suppressing retry storms first
+    (fail-fast kernel variants), then shedding or degrading whole jobs by
+    exact largest-remainder apportioning.  No PRNG draws are made, so the
+    trajectory is byte-identical at every [jobs] value.  Additional
+    [overload.*] counters and gauges are recorded under [metrics].
     @raise Invalid_argument when {!validate} rejects the params. *)

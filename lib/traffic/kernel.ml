@@ -33,6 +33,7 @@ type t = {
   demand_us_per_job : float;  (** summed per-request modeled service time *)
   elapsed_us_per_job : float;  (** modeled makespan of one run *)
   errors_per_job : int;  (** failed disk-read attempts one run suffers *)
+  timeouts_per_job : int;  (** requests whose retry budget ran out *)
   classes : cls array;  (** per-request latency distribution; weights sum to 1 *)
   profiles : profile option array;
       (** per-class representative breakdowns, aligned with [classes];
@@ -226,10 +227,12 @@ let compile ?(sample = 1) ?(faults = Flo_faults.Fault_plan.empty) ?(profile = fa
   in
   let sink = Option.map (fun (s, _, _) -> s) collector in
   let r = Run.run ?faults:injector ?sink ~sample ~metrics:registry ~config ~layouts app in
-  let errors_per_job =
+  let errors_per_job, timeouts_per_job =
     match injector with
-    | None -> 0
-    | Some inj -> (Flo_faults.Injector.counts inj).Flo_faults.Injector.faults
+    | None -> (0, 0)
+    | Some inj ->
+      let c = Flo_faults.Injector.counts inj in
+      (c.Flo_faults.Injector.faults, c.Flo_faults.Injector.timeouts)
   in
   let h = Flo_obs.Metrics.find_histogram registry "request_latency_us" in
   let classes = match h with Some h -> classes_of_histogram h | None -> [||] in
@@ -248,6 +251,7 @@ let compile ?(sample = 1) ?(faults = Flo_faults.Fault_plan.empty) ?(profile = fa
     demand_us_per_job;
     elapsed_us_per_job = r.Run.elapsed_us;
     errors_per_job;
+    timeouts_per_job;
     classes;
     profiles;
   }

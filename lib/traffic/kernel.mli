@@ -38,6 +38,10 @@ type t = {
   errors_per_job : int;
       (** failed disk-read attempts one execution suffers under the
           compilation's fault plan; 0 without one *)
+  timeouts_per_job : int;
+      (** requests whose retry budget ran out under the fault plan; 0
+          without one.  Together with [errors_per_job], the health signal
+          the overload subsystem's circuit breakers watch. *)
   classes : cls array;
       (** per-request latency distribution (weights sum to 1); empty only
           when the run issued no block requests *)

@@ -44,7 +44,59 @@ let breaching_of_kernel (k : Kernel.t) ~jobs ~multiplier ~threshold_us =
     !breaching
   end
 
+(* Under overload control the SLO scores the *accepted* cohort: the walk
+   follows the admission ledger's segments — each slice under its serving
+   multiplier and kernel variant — and shed requests never enter [total]
+   (rejecting a request is not the same failure as serving it late; the
+   shed volume is reported separately by the traffic/overload reports). *)
+let samples_of_tenant_overload spec (r : Engine.result)
+    (ol : Engine.overload_stats) tenant =
+  let s = r.Engine.tenants_stats.(tenant) in
+  let kernel_of variant rank =
+    let pick arr =
+      let kd, ki = arr.(rank) in
+      if s.Engine.optimized then ki else kd
+    in
+    match (variant : Overload.variant) with
+    | Overload.Normal -> pick r.Engine.kernels
+    | Overload.Fail_fast_serve ->
+      (match ol.Engine.ol_ff_kernels with
+      | Some a -> pick a
+      | None -> pick r.Engine.kernels)
+    | Overload.Browned ->
+      (match ol.Engine.ol_bw_kernels with
+      | Some a -> pick a
+      | None -> pick r.Engine.kernels)
+  in
+  Array.map
+    (fun rank_segs ->
+      let total = ref 0 in
+      let breaching = ref 0 in
+      Array.iteri
+        (fun _rank segs ->
+          List.iter
+            (fun (sg : Overload.seg) ->
+              let k = kernel_of sg.Overload.sg_variant _rank in
+              let jobs = sg.Overload.sg_jobs in
+              match spec.Slo.objective with
+              | Slo.Latency { threshold_us; _ } ->
+                total := !total + (jobs * k.Kernel.requests_per_job);
+                breaching :=
+                  !breaching
+                  + breaching_of_kernel k ~jobs ~multiplier:sg.Overload.sg_mult
+                      ~threshold_us
+              | Slo.Error_rate _ ->
+                total := !total + (jobs * k.Kernel.accesses_per_job);
+                breaching := !breaching + (jobs * k.Kernel.errors_per_job))
+            segs)
+        rank_segs;
+      { Slo.total = !total; breaching = min !breaching !total })
+    ol.Engine.ol_tenant_segs.(tenant)
+
 let samples_of_tenant spec (r : Engine.result) tenant =
+  match r.Engine.overload with
+  | Some ol -> samples_of_tenant_overload spec r ol tenant
+  | None ->
   let s = r.Engine.tenants_stats.(tenant) in
   let shard = r.Engine.shards.(s.Engine.shard) in
   let kernels = r.Engine.kernels in

@@ -56,6 +56,17 @@ let summary ?max_rows (r : Engine.result) (e : Slo_eval.t) =
        (p.Engine.duration_s /. float_of_int p.Engine.windows)
        (if Flo_faults.Fault_plan.is_empty p.Engine.faults then "none"
         else Flo_faults.Fault_plan.to_string p.Engine.faults));
+  (* named only when the subsystem ran: overload-off reports stay
+     byte-identical.  Under overload control the tables below score the
+     accepted cohort; the shed volume is in the traffic report. *)
+  (match r.Engine.overload with
+  | None -> ()
+  | Some ol ->
+    Buffer.add_string b
+      (Printf.sprintf "overload: %s shed=%d/%d admitted_requests=%d\n\n"
+         (Overload.describe ol.Engine.ol_params)
+         ol.Engine.ol_shed_requests ol.Engine.ol_offered_requests
+         ol.Engine.ol_admitted_requests));
   Buffer.add_string b "== per-tenant error budget (worst tenants by burn rate) ==\n";
   Buffer.add_string b
     (Report.table ~header

@@ -124,16 +124,12 @@ let span_tree ~win_len_us g =
   in
   Trace.span ~children ~name:"request" ~start_us:t0 ~dur_us:g.g_latency_us ()
 
-let trace_tenant ~t ~seed ~stream ~tenant ~shard ~optimized ~win_len_us ~multipliers
-    ~kernels ~window_jobs ~hist =
-  let groups = groups_of ~optimized ~multipliers ~kernels ~window_jobs in
-  let app_of r mode_opt =
-    let kd, ki = kernels.(r) in
-    (if mode_opt then ki else kd).Kernel.app
-  in
+(* head/tail sampling over a prepared group list — shared by the plain and
+   overload walks, which differ only in how groups are enumerated *)
+let emit_groups ~t ~seed ~stream ~tenant ~shard ~win_len_us ~windows ~app_of ~hist
+    groups =
   (* the max-latency group per window, first on ties — replay order is
      deterministic, so so is this *)
-  let windows = Array.length multipliers in
   let window_max = Array.make windows (-1) in
   let window_best = Array.make windows neg_infinity in
   List.iteri
@@ -146,7 +142,7 @@ let trace_tenant ~t ~seed ~stream ~tenant ~shard ~optimized ~win_len_us ~multipl
   let traces_rev = ref [] in
   let emit ~trace_id ~count ~reasons g =
     let trace =
-      Trace.make ~trace_id ~tenant ~app:(app_of g.g_rank optimized)
+      Trace.make ~trace_id ~tenant ~app:(app_of g)
         ~window:g.g_window ~shard ~outcome:(outcome_of g.g_profile)
         ~latency_us:g.g_latency_us ~count ~reasons ~root:(span_tree ~win_len_us g)
     in
@@ -180,3 +176,113 @@ let trace_tenant ~t ~seed ~stream ~tenant ~shard ~optimized ~win_len_us ~multipl
       done)
     groups;
   List.rev !traces_rev
+
+let trace_tenant ~t ~seed ~stream ~tenant ~shard ~optimized ~win_len_us ~multipliers
+    ~kernels ~window_jobs ~hist =
+  let groups = groups_of ~optimized ~multipliers ~kernels ~window_jobs in
+  let app_of g =
+    let kd, ki = kernels.(g.g_rank) in
+    (if optimized then ki else kd).Kernel.app
+  in
+  emit_groups ~t ~seed ~stream ~tenant ~shard ~win_len_us
+    ~windows:(Array.length multipliers) ~app_of ~hist groups
+
+(* The overload walk enumerates a tenant's *admitted segments* instead of
+   raw (window, rank) job counts, each under its serving multiplier and
+   variant kernel.  Sequence numbering runs over the *offered* request
+   space: a (window, rank)'s served segments consume sequence numbers
+   first, then its shed requests — so head ids (2*seq) and group ids
+   (2*first_seq + 1) can never collide between served and shed traces. *)
+let overload_groups ~optimized ~kernels ~ff_kernels ~bw_kernels ~segs ~shed =
+  let kernel_of variant r =
+    let pick arr =
+      let kd, ki = arr.(r) in
+      if optimized then ki else kd
+    in
+    match (variant : Overload.variant) with
+    | Overload.Normal -> pick kernels
+    | Overload.Fail_fast_serve ->
+      (match ff_kernels with Some a -> pick a | None -> pick kernels)
+    | Overload.Browned ->
+      (match bw_kernels with Some a -> pick a | None -> pick kernels)
+  in
+  let seq = ref 0 in
+  let acc = ref [] in
+  let shed_acc = ref [] in
+  Array.iteri
+    (fun w rrow ->
+      Array.iteri
+        (fun r segl ->
+          List.iter
+            (fun (sg : Overload.seg) ->
+              let k = kernel_of sg.Overload.sg_variant r in
+              let n = sg.Overload.sg_jobs * k.Kernel.requests_per_job in
+              let counts = Kernel.apportion k ~requests:n in
+              Array.iteri
+                (fun i cnt ->
+                  if cnt > 0 then begin
+                    let class_us = k.Kernel.classes.(i).Kernel.latency_us in
+                    acc :=
+                      {
+                        g_window = w;
+                        g_rank = r;
+                        g_cls = i;
+                        g_count = cnt;
+                        g_first_seq = !seq;
+                        g_latency_us = class_us *. sg.Overload.sg_mult;
+                        g_class_us = class_us;
+                        g_profile =
+                          (if i < Array.length k.Kernel.profiles then
+                             k.Kernel.profiles.(i)
+                           else None);
+                      }
+                      :: !acc;
+                    seq := !seq + cnt
+                  end)
+                counts)
+            segl;
+          let sj = shed.(w).(r) in
+          if sj > 0 then begin
+            let k = kernel_of Overload.Normal r in
+            let n = sj * k.Kernel.requests_per_job in
+            if n > 0 then begin
+              shed_acc := (w, r, n, !seq) :: !shed_acc;
+              seq := !seq + n
+            end
+          end)
+        rrow)
+    segs;
+  (List.rev !acc, List.rev !shed_acc)
+
+let trace_tenant_overload ~t ~seed ~stream ~tenant ~shard ~optimized ~win_len_us
+    ~kernels ~ff_kernels ~bw_kernels ~segs ~shed ~hist =
+  let groups, shed_groups =
+    overload_groups ~optimized ~kernels ~ff_kernels ~bw_kernels ~segs ~shed
+  in
+  let app_of g =
+    let kd, ki = kernels.(g.g_rank) in
+    (if optimized then ki else kd).Kernel.app
+  in
+  let served =
+    emit_groups ~t ~seed ~stream ~tenant ~shard ~win_len_us
+      ~windows:(Array.length segs) ~app_of ~hist groups
+  in
+  (* one group trace per shed (window, rank): a zero-duration
+     [admission.shed] root at the window origin, standing for every request
+     the controller rejected there.  No exemplar — shed requests never
+     reach a histogram. *)
+  let shed_traces =
+    List.map
+      (fun (w, r, n, first_seq) ->
+        let kd, ki = kernels.(r) in
+        let app = (if optimized then ki else kd).Kernel.app in
+        Trace.make
+          ~trace_id:(Trace.mint_id ~seed ~stream ((2 * first_seq) + 1))
+          ~tenant ~app ~window:w ~shard ~outcome:"shed" ~latency_us:0. ~count:n
+          ~reasons:[ Trace.Shed ]
+          ~root:
+            (Trace.span ~name:"admission.shed"
+               ~start_us:(float_of_int w *. win_len_us) ~dur_us:0. ()))
+      shed_groups
+  in
+  served @ shed_traces

@@ -52,3 +52,28 @@ val trace_tenant :
     lands in the bucket that counted the request.  Traces come back in
     replay order (window, rank, class ascending).  Pure observation: [hist]
     gains exemplars, never observations. *)
+
+val trace_tenant_overload :
+  t:params ->
+  seed:int ->
+  stream:int ->
+  tenant:int ->
+  shard:int ->
+  optimized:bool ->
+  win_len_us:float ->
+  kernels:(Kernel.t * Kernel.t) array ->
+  ff_kernels:(Kernel.t * Kernel.t) array option ->
+  bw_kernels:(Kernel.t * Kernel.t) array option ->
+  segs:Overload.seg list array array ->
+  shed:int array array ->
+  hist:Flo_obs.Histogram.t ->
+  Flo_obs.Trace.t list
+(** {!trace_tenant} for a tenant simulated under overload control: the walk
+    enumerates the tenant's admitted {!Overload.seg}s (windows x ranks),
+    each under its serving multiplier and kernel variant, then emits one
+    group trace per shed (window, rank) — outcome ["shed"], reason
+    {!Flo_obs.Trace.Shed}, a zero-duration [admission.shed] root span at
+    the window origin, [count] = the rejected requests.  Sequence numbers
+    cover the offered request space (served segments first, then shed), so
+    trace ids never collide with served ones.  Shed traces attach no
+    exemplar — shed requests never reach a histogram. *)

@@ -83,6 +83,57 @@ let shard_rows (r : Engine.result) =
          ])
        r.Engine.shards)
 
+(* one row per shard of the overload-control ledger; "-" when no breaker
+   is armed on the shard *)
+let overload_rows (ol : Engine.overload_stats) =
+  Array.to_list
+    (Array.mapi
+       (fun s cells ->
+         let sum f = Array.fold_left (fun a c -> a + f c) 0 cells in
+         let offered = sum (fun c -> c.Engine.aw_offered_jobs) in
+         let admitted = sum (fun c -> c.Engine.aw_admitted_jobs) in
+         let browned = sum (fun c -> c.Engine.aw_browned_jobs) in
+         let shed = sum (fun c -> c.Engine.aw_shed_jobs) in
+         let routed_in = sum (fun c -> c.Engine.aw_routed_in_jobs) in
+         let routed_out = sum (fun c -> c.Engine.aw_routed_out_jobs) in
+         let suppressed = sum (fun c -> if c.Engine.aw_retry_suppressed then 1 else 0) in
+         let open_w =
+           sum (fun c ->
+               match c.Engine.aw_breaker with
+               | Some (Flo_faults.Breaker.Open _) -> 1
+               | _ -> 0)
+         in
+         let final =
+           match cells.(Array.length cells - 1).Engine.aw_breaker with
+           | None -> "-"
+           | Some st -> Flo_faults.Breaker.state_to_string st
+         in
+         [
+           string_of_int s;
+           string_of_int offered;
+           string_of_int admitted;
+           string_of_int browned;
+           string_of_int shed;
+           string_of_int routed_in;
+           string_of_int routed_out;
+           string_of_int suppressed;
+           string_of_int open_w;
+           final;
+         ])
+       ol.Engine.ol_admissions)
+
+let overload_line (r : Engine.result) (ol : Engine.overload_stats) =
+  Printf.sprintf
+    "overload %s: offered=%d admitted=%d shed=%d (%.1f%%) browned_jobs=%d \
+     failover_jobs=%d retry_suppressed_windows=%d goodput=%.0frps accepted_p99=%.1fus"
+    (Overload.describe ol.Engine.ol_params)
+    ol.Engine.ol_offered_requests ol.Engine.ol_admitted_requests
+    ol.Engine.ol_shed_requests
+    (100. *. ol.Engine.ol_shed_fraction)
+    ol.Engine.ol_browned_jobs ol.Engine.ol_failover_jobs
+    ol.Engine.ol_retry_suppressed_windows ol.Engine.ol_goodput_rps
+    r.Engine.agg_p99_us
+
 let verdict_line (r : Engine.result) =
   let p = r.Engine.params in
   Printf.sprintf
@@ -109,6 +160,20 @@ let summary ?max_rows (r : Engine.result) =
     (Report.table
        ~header:[ "shard"; "tenants"; "jobs"; "requests"; "utilization"; "multiplier" ]
        (shard_rows r));
+  (* the overload section only exists when the subsystem ran, so
+     overload-off reports are byte-identical to before it existed *)
+  (match r.Engine.overload with
+  | None -> ()
+  | Some ol ->
+    Buffer.add_string b
+      (Printf.sprintf "\n\n== overload control (%s) ==\n"
+         (Overload.describe ol.Engine.ol_params));
+    Buffer.add_string b
+      (Report.table
+         ~header:
+           [ "shard"; "offered"; "admitted"; "browned"; "shed"; "in"; "out";
+             "retry-supp"; "open w"; "breaker" ]
+         (overload_rows ol)));
   Buffer.add_string b "\n\n";
   Buffer.add_string b
     (Printf.sprintf
@@ -141,4 +206,7 @@ let wall_line (r : Engine.result) =
 let print ?max_rows (r : Engine.result) =
   print_string (summary ?max_rows r);
   print_endline (wall_line r);
+  (match r.Engine.overload with
+  | None -> ()
+  | Some ol -> print_endline (overload_line r ol));
   print_endline (verdict_line r)

@@ -12,7 +12,15 @@ val mix_names : Engine.params -> string
 
 val summary : ?max_rows:int -> Engine.result -> string
 (** Header, per-tenant table (top [max_rows], default 8, by request
-    count), per-shard table, and the aggregate/fairness lines. *)
+    count), per-shard table, and the aggregate/fairness lines.  When the
+    run carried overload control, a per-shard admission/breaker table is
+    appended — overload-off reports are byte-identical to before the
+    subsystem existed. *)
+
+val overload_line : Engine.result -> Engine.overload_stats -> string
+(** One deterministic line of overload accounting:
+    [overload policy=...: offered=... admitted=... shed=... (...) ...
+    goodput=...rps accepted_p99=...us]. *)
 
 val verdict_line : Engine.result -> string
 (** One deterministic line:
@@ -23,4 +31,5 @@ val wall_line : Engine.result -> string
 (** Machine-dependent throughput line, prefixed [[wall]]. *)
 
 val print : ?max_rows:int -> Engine.result -> unit
-(** [summary], then {!wall_line}, then {!verdict_line}, to stdout. *)
+(** [summary], then {!wall_line}, then ({!overload_line} when overload
+    control ran), then {!verdict_line}, to stdout. *)

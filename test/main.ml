@@ -17,4 +17,5 @@ let () =
       ("bench", Test_bench.suite);
       ("traffic", Test_traffic.suite);
       ("trace", Test_trace.suite);
+      ("overload", Test_overload.suite);
     ]
